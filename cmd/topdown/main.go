@@ -1,0 +1,195 @@
+// Command topdown is the paper's profiling tool: it runs a benchmark
+// application on a simulated NVIDIA GPU under the Top-Down methodology and
+// prints the hierarchical IPC breakdown (Retire / Divergence / Frontend /
+// Backend, with level 2-3 detail on CC >= 7.2 devices).
+//
+// Examples:
+//
+//	topdown -gpu rtx4000 -suite rodinia -app srad_v2 -level 3
+//	topdown -gpu gtx1070 -suite altis -app gemm -level 2 -per-kernel
+//	topdown -gpu rtx4000 -dynamic              # per-invocation srad series
+//	topdown -list                              # available apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gputopdown"
+)
+
+func main() {
+	gpuID := flag.String("gpu", "rtx4000", "device model: gtx1070 or rtx4000")
+	suite := flag.String("suite", "rodinia", "benchmark suite: rodinia, altis, shoc, cudasamples")
+	appName := flag.String("app", "", "application to profile (see -list)")
+	level := flag.Int("level", 3, "Top-Down analysis level (1-3)")
+	raw := flag.Bool("raw", false, "use the paper's raw equations (8)-(14) without normalisation")
+	hwpm := flag.Bool("hwpm", false, "collect via HWPM sampling instead of SMPC")
+	sms := flag.Int("sms", 0, "override the SM count (0 = full device)")
+	perKernel := flag.Bool("per-kernel", false, "also print each kernel invocation")
+	format := flag.String("format", "text", "aggregate output format: text, csv or json")
+	dynamic := flag.Bool("dynamic", false, "run the 100-invocation srad dynamic analysis")
+	compare := flag.Bool("compare", false, "run the app on both GPUs and print a side-by-side comparison")
+	list := flag.Bool("list", false, "list available devices and applications")
+	flag.Parse()
+
+	if *list {
+		listAll()
+		return
+	}
+
+	spec, ok := gputopdown.LookupGPU(*gpuID)
+	if !ok {
+		fatalf("unknown GPU %q (try -list)", *gpuID)
+	}
+	if *sms > 0 {
+		spec = spec.WithSMs(*sms)
+	}
+	opts := []gputopdown.Option{gputopdown.WithLevel(*level)}
+	if *raw {
+		opts = append(opts, gputopdown.WithRawEquations())
+	}
+	if *hwpm {
+		opts = append(opts, gputopdown.WithHWPM())
+	}
+	p := gputopdown.NewProfiler(spec, opts...)
+
+	var app *gputopdown.App
+	if *dynamic {
+		app = gputopdown.SradDynamic()
+	} else {
+		if *appName == "" {
+			fatalf("missing -app (try -list)")
+		}
+		app, ok = gputopdown.LookupApp(*suite, *appName)
+		if !ok {
+			fatalf("unknown app %s/%s (try -list)", *suite, *appName)
+		}
+	}
+
+	if *compare {
+		compareGPUs(app, *level, *sms)
+		return
+	}
+
+	res, err := p.ProfileApp(app)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *dynamic {
+		printDynamic(res)
+		return
+	}
+
+	switch *format {
+	case "csv":
+		fmt.Print(res.Aggregate.CSV())
+	case "json":
+		data, err := res.Aggregate.JSON()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(string(data))
+	default:
+		fmt.Print(res.Aggregate.String())
+	}
+	fmt.Printf("kernel invocations: %d, passes per kernel: %d, overhead: %.1fx\n",
+		len(res.Kernels), res.Passes, res.Overhead())
+	if *perKernel {
+		fmt.Println()
+		for _, k := range res.Kernels {
+			a := k.Analysis
+			fmt.Printf("%-24s inv %-3d %8d cyc  retire %5.1f%%  div %5.1f%%  fe %5.1f%%  be %5.1f%%\n",
+				k.Kernel, k.Invocation, k.Cycles,
+				100*a.Fraction(a.Retire), 100*a.Fraction(a.Divergence),
+				100*a.Fraction(a.Frontend), 100*a.Fraction(a.Backend))
+		}
+	}
+}
+
+// compareGPUs reproduces the paper's architecture-vs-architecture reading of
+// the hierarchy (§V.B): the same application on Pascal and Turing,
+// component by component.
+func compareGPUs(app *gputopdown.App, level, sms int) {
+	type row struct {
+		name string
+		pick func(a *gputopdown.Analysis) float64
+	}
+	rows := []row{
+		{"Retire", func(a *gputopdown.Analysis) float64 { return a.Retire }},
+		{"Divergence", func(a *gputopdown.Analysis) float64 { return a.Divergence }},
+		{"Frontend", func(a *gputopdown.Analysis) float64 { return a.Frontend }},
+		{"  Fetch", func(a *gputopdown.Analysis) float64 { return a.Fetch }},
+		{"  Decode", func(a *gputopdown.Analysis) float64 { return a.Decode }},
+		{"Backend", func(a *gputopdown.Analysis) float64 { return a.Backend }},
+		{"  Core", func(a *gputopdown.Analysis) float64 { return a.Core }},
+		{"  Memory", func(a *gputopdown.Analysis) float64 { return a.Memory }},
+	}
+	var results []*gputopdown.AppResult
+	var names []string
+	for _, id := range []string{"gtx1070", "rtx4000"} {
+		spec, _ := gputopdown.LookupGPU(id)
+		if sms > 0 {
+			spec = spec.WithSMs(sms)
+		}
+		p := gputopdown.NewProfiler(spec, gputopdown.WithLevel(level))
+		res, err := p.ProfileApp(app)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		results = append(results, res)
+		names = append(names, spec.Name)
+	}
+	fmt.Printf("Top-Down comparison of %s/%s (shares of each device's IPC_MAX)\n", app.Suite, app.Name)
+	fmt.Printf("%-12s %24s %24s\n", "component", names[0], names[1])
+	for _, r := range rows {
+		a0, a1 := results[0].Aggregate, results[1].Aggregate
+		fmt.Printf("%-12s %23.1f%% %23.1f%%\n",
+			r.name, 100*a0.Fraction(r.pick(a0)), 100*a1.Fraction(r.pick(a1)))
+	}
+	fmt.Printf("%-12s %24d %24d\n", "cycles", results[0].NativeCycles, results[1].NativeCycles)
+	fmt.Printf("%-12s %23.1fx %23.1fx\n", "overhead", results[0].Overhead(), results[1].Overhead())
+}
+
+func printDynamic(res *gputopdown.AppResult) {
+	for _, name := range res.KernelNames() {
+		fmt.Printf("== %s (level-1 evolution) ==\n", name)
+		fmt.Printf("%4s %8s %7s %7s %7s %7s\n", "inv", "cycles", "retire", "diverg", "front", "back")
+		series := res.Series(name)
+		for i, a := range series {
+			fmt.Printf("%4d %8.0f %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+				i, a.Weight,
+				100*a.Fraction(a.Retire), 100*a.Fraction(a.Divergence),
+				100*a.Fraction(a.Frontend), 100*a.Fraction(a.Backend))
+		}
+	}
+}
+
+func listAll() {
+	fmt.Println("devices:")
+	for _, id := range []string{"gtx1070", "rtx4000"} {
+		spec, _ := gputopdown.LookupGPU(id)
+		fmt.Printf("  %-10s %s (CC %s, %d SMs, IPC_MAX %.0f)\n",
+			id, spec.Name, spec.Compute, spec.SMs, spec.IPCMax())
+	}
+	for _, s := range gputopdown.Suites() {
+		fmt.Printf("suite %s:\n", s)
+		apps := gputopdown.SuiteApps(s)
+		names := make([]string, len(apps))
+		for i, a := range apps {
+			names[i] = a.Name
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %s\n", n)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "topdown: "+format+"\n", args...)
+	os.Exit(1)
+}

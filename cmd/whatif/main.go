@@ -1,0 +1,143 @@
+// Command whatif explores microarchitectural design points, the second
+// purpose the paper gives the methodology: "to identify possible bottlenecks
+// in a given GPU microarchitecture, facilitating the improvement of
+// subsequent designs". It sweeps one hardware parameter across values, runs
+// an application at each point and prints how the Top-Down breakdown shifts
+// — answering "would a bigger constant cache fix myocyte?" in seconds
+// instead of a simulator campaign.
+//
+// Examples:
+//
+//	whatif -suite rodinia -app myocyte -param imcsize -values 2048,8192,32768
+//	whatif -suite rodinia -app hotspot -param l1size -values 32768,65536,131072
+//	whatif -suite altis -app gemm -param policy -values gto,lrr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gputopdown"
+)
+
+func main() {
+	gpuID := flag.String("gpu", "rtx4000", "base device model")
+	suite := flag.String("suite", "rodinia", "benchmark suite")
+	appName := flag.String("app", "", "application")
+	param := flag.String("param", "", "parameter to sweep: l1size, l2size, imcsize, lgqueue, mioqueue, fp64lanes, policy, dramlat")
+	values := flag.String("values", "", "comma-separated values")
+	sms := flag.Int("sms", 0, "override the SM count (0 = full device)")
+	level := flag.Int("level", 3, "analysis level")
+	flag.Parse()
+
+	base, ok := gputopdown.LookupGPU(*gpuID)
+	if !ok {
+		fatalf("unknown GPU %q", *gpuID)
+	}
+	if *sms > 0 {
+		base = base.WithSMs(*sms)
+	}
+	app, ok := gputopdown.LookupApp(*suite, *appName)
+	if !ok {
+		fatalf("unknown app %s/%s", *suite, *appName)
+	}
+	var vals []string
+	for _, v := range strings.Split(*values, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			vals = append(vals, v)
+		}
+	}
+	if *param == "" || len(vals) == 0 {
+		fatalf("missing -param / -values")
+	}
+
+	fmt.Printf("what-if: %s/%s on %s, sweeping %s\n", *suite, *appName, base.Name, *param)
+	fmt.Printf("%-12s %9s %8s %8s %8s %8s | %8s %8s\n",
+		*param, "cycles", "retire", "diverg", "front", "back", "memory", "const")
+	for _, v := range vals {
+		spec := *base // copy
+		if err := apply(&spec, *param, v); err != nil {
+			fatalf("%v", err)
+		}
+		if err := spec.Validate(); err != nil {
+			fatalf("variant %s=%s: %v", *param, v, err)
+		}
+		p := gputopdown.NewProfiler(&spec, gputopdown.WithLevel(*level))
+		res, err := p.ProfileApp(app)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		a := res.Aggregate
+		f := func(x float64) float64 { return 100 * a.Fraction(x) }
+		constPct := 0.0
+		if a.MemoryDetail != nil {
+			constPct = 100 * a.Fraction(a.MemoryDetail["imc_miss"])
+		}
+		fmt.Printf("%-12s %9d %7.1f%% %7.1f%% %7.1f%% %7.1f%% | %7.1f%% %7.1f%%\n",
+			v, res.NativeCycles, f(a.Retire), f(a.Divergence),
+			f(a.Frontend), f(a.Backend), f(a.Memory), constPct)
+	}
+}
+
+// apply mutates one spec parameter from its string value.
+func apply(spec *gputopdown.GPUSpec, param, value string) error {
+	atoi := func() (int, error) { return strconv.Atoi(value) }
+	switch param {
+	case "l1size":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		spec.L1Size = n
+	case "l2size":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		spec.L2Size = n
+	case "imcsize":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		spec.IMCSize = n
+	case "lgqueue":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		spec.LGQueueDepth = n
+	case "mioqueue":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		spec.MIOQueueDepth = n
+	case "fp64lanes":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		spec.PipeLanes[2] = n // isa.PipeFP64
+	case "dramlat":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		spec.DRAMLatency = n
+	case "policy":
+		spec.SchedulingPolicy = value
+	default:
+		return fmt.Errorf("unknown parameter %q", param)
+	}
+	spec.Name = fmt.Sprintf("%s[%s=%s]", spec.Name, param, value)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "whatif: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,35 @@
+// binarypartition reproduces the paper's §V.A experiment (Fig. 4): the
+// binaryPartitionCG CUDA sample profiled at cooperative-group tile sizes 32,
+// 16, 8 and 4, showing performance degrade — and the bottleneck move from
+// Divergence to the memory Backend — as tiles shrink.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gputopdown"
+)
+
+func main() {
+	spec := gputopdown.QuadroRTX4000().WithSMs(8)
+	profiler := gputopdown.NewProfiler(spec, gputopdown.WithLevel(2))
+
+	fmt.Println("binaryPartitionCG Top-Down vs cooperative-group tile size (Turing)")
+	fmt.Printf("%6s %8s %8s %8s %8s | %8s %8s\n",
+		"tile", "retire", "diverg", "front", "back", "branch", "memory")
+	for _, app := range gputopdown.SuiteApps("cudasamples") {
+		res, err := profiler.ProfileApp(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := res.Aggregate
+		f := func(v float64) float64 { return 100 * a.Fraction(v) }
+		// App names end in the tile size: binaryPartitionCG_tile32, ...
+		fmt.Printf("%6s %7.1f%% %7.1f%% %7.1f%% %7.1f%% | %7.1f%% %7.1f%%\n",
+			app.Name[len("binaryPartitionCG_tile"):],
+			f(a.Retire), f(a.Divergence), f(a.Frontend), f(a.Backend),
+			f(a.Branch), f(a.Memory))
+	}
+	fmt.Println("\nexpected shape (paper Fig. 4): retire and divergence fall, memory grows")
+}

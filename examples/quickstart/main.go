@@ -1,0 +1,35 @@
+// Quickstart: profile one benchmark application on the Turing model and
+// print its Top-Down hierarchy — the five-line introduction to the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gputopdown"
+)
+
+func main() {
+	// A downscaled device keeps the example fast; drop WithSMs for the full
+	// Quadro RTX 4000.
+	spec := gputopdown.QuadroRTX4000().WithSMs(8)
+	profiler := gputopdown.NewProfiler(spec, gputopdown.WithLevel(3))
+
+	app, ok := gputopdown.LookupApp("rodinia", "hotspot")
+	if !ok {
+		log.Fatal("rodinia/hotspot not found")
+	}
+	res, err := profiler.ProfileApp(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res.Aggregate.String())
+	fmt.Printf("\n%d kernel invocations, %d profiling passes each, overhead %.1fx\n",
+		len(res.Kernels), res.Passes, res.Overhead())
+
+	// The analysis is plain data: pick out whatever the tooling needs.
+	a := res.Aggregate
+	fmt.Printf("memory share of all IPC loss: %.0f%%\n",
+		100*a.Memory/a.Degradation())
+}

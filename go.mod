@@ -1,0 +1,3 @@
+module gputopdown
+
+go 1.22

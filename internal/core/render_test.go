@@ -1,0 +1,141 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"gputopdown/internal/sm"
+)
+
+func sampleAnalysis(t *testing.T, level int) *Analysis {
+	t.Helper()
+	v := ncuValues(1000, 800, 900, 0.85, map[sm.WarpState]uint64{
+		sm.StateLongScoreboard: 400,
+		sm.StateIMCMiss:        100,
+		sm.StateNoInstruction:  80,
+		sm.StateBarrier:        20,
+	})
+	return turingAnalyzer(level).Analyze("srad_cuda_1", v)
+}
+
+func TestRowsCoverHierarchy(t *testing.T) {
+	a := sampleAnalysis(t, Level3)
+	rows := a.Rows()
+	byPath := map[string]Row{}
+	for _, r := range rows {
+		if _, dup := byPath[r.Path]; dup {
+			t.Errorf("duplicate row %q", r.Path)
+		}
+		byPath[r.Path] = r
+	}
+	for _, p := range []string{
+		"retire", "divergence", "divergence/branch", "divergence/replay",
+		"frontend", "frontend/fetch", "frontend/fetch/no_instruction",
+		"frontend/decode", "backend", "backend/core",
+		"backend/memory", "backend/memory/long_scoreboard",
+		"backend/memory/imc_miss",
+	} {
+		if _, ok := byPath[p]; !ok {
+			t.Errorf("missing row %q", p)
+		}
+	}
+	// Level-1 rows must sum to IPC_MAX in normalised mode.
+	var l1 float64
+	for _, r := range rows {
+		if r.Level == 1 {
+			l1 += r.IPC
+		}
+	}
+	if math.Abs(l1-a.IPCMax) > 1e-9 {
+		t.Errorf("level-1 rows sum to %g, want %g", l1, a.IPCMax)
+	}
+	// Level-3 memory rows must sum to the memory level-2 row.
+	var mem3 float64
+	for _, r := range rows {
+		if strings.HasPrefix(r.Path, "backend/memory/") {
+			mem3 += r.IPC
+		}
+	}
+	if math.Abs(mem3-byPath["backend/memory"].IPC) > 1e-9 {
+		t.Errorf("memory leaves sum to %g, parent %g", mem3, byPath["backend/memory"].IPC)
+	}
+}
+
+func TestRowsLevel1HasStall(t *testing.T) {
+	a := sampleAnalysis(t, Level1)
+	rows := a.Rows()
+	found := false
+	for _, r := range rows {
+		if r.Path == "stall" {
+			found = true
+		}
+		if strings.Contains(r.Path, "/") {
+			t.Errorf("level-1 rows contain deep path %q", r.Path)
+		}
+	}
+	if !found {
+		t.Error("level-1 rows missing stall")
+	}
+}
+
+func TestCSVWellFormed(t *testing.T) {
+	a := sampleAnalysis(t, Level3)
+	csv := a.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "kernel,gpu,tool,component,level,ipc,fraction" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != len(a.Rows())+1 {
+		t.Errorf("csv has %d lines, want %d", len(lines), len(a.Rows())+1)
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 6 {
+			t.Errorf("row %q has %d commas", l, got)
+		}
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	if got := csvEscape(`a,b`); got != `"a,b"` {
+		t.Errorf("comma escape: %q", got)
+	}
+	if got := csvEscape(`a"b`); got != `"a""b"` {
+		t.Errorf("quote escape: %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Errorf("plain mangled: %q", got)
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	a := sampleAnalysis(t, Level3)
+	data, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Kernel     string  `json:"kernel"`
+		Tool       string  `json:"tool"`
+		CC         string  `json:"compute_capability"`
+		IPCMax     float64 `json:"ipc_max"`
+		Components []Row   `json:"components"`
+		Metrics    map[string]float64
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Kernel != "srad_cuda_1" || decoded.Tool != "ncu" || decoded.CC != "7.5" {
+		t.Errorf("metadata lost: %+v", decoded)
+	}
+	if decoded.IPCMax != 2 {
+		t.Errorf("IPCMax = %g", decoded.IPCMax)
+	}
+	if len(decoded.Components) != len(a.Rows()) {
+		t.Errorf("components %d != rows %d", len(decoded.Components), len(a.Rows()))
+	}
+	if len(decoded.Metrics) == 0 {
+		t.Error("metrics missing from JSON")
+	}
+}

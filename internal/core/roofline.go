@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"gputopdown/internal/gpu"
+	"gputopdown/internal/pmu"
+)
+
+// Roofline is an instruction-roofline placement (Ding & Williams' GPU
+// variant of the model the paper's related work [26] applies): achieved warp
+// instruction throughput against the device's issue ceiling and its
+// bandwidth-limited slope, at the kernel's measured instruction intensity.
+// It complements Top-Down: Top-Down says *which component* eats the lost
+// IPC, the roofline says how far performance sits from either ceiling.
+type Roofline struct {
+	// IntensityInstPerByte is warp instructions per DRAM-traffic byte.
+	IntensityInstPerByte float64
+	// AchievedGIPS is the measured warp-instruction throughput in 1e9
+	// instructions/second.
+	AchievedGIPS float64
+	// PeakGIPS is the device issue ceiling.
+	PeakGIPS float64
+	// MemCeilingGIPS is the bandwidth-limited ceiling at this intensity.
+	MemCeilingGIPS float64
+	// Bound is "memory" when the bandwidth roof is the binding one,
+	// otherwise "compute".
+	Bound string
+	// CeilingFraction is achieved / min(PeakGIPS, MemCeilingGIPS).
+	CeilingFraction float64
+}
+
+// RooflineRequest returns the raw counters the roofline needs.
+func RooflineRequest() []pmu.CounterID {
+	return []pmu.CounterID{
+		pmu.CtrInstExecuted, pmu.CtrActiveCycles,
+		pmu.CtrLoadSectors, pmu.CtrStoreSectors,
+	}
+}
+
+// ComputeRoofline places the measured counters on the device's instruction
+// roofline. Returns nil when no instructions were measured.
+func ComputeRoofline(spec *gpu.Spec, values pmu.Values) *Roofline {
+	inst := float64(values[pmu.CtrInstExecuted])
+	cycles := float64(values[pmu.CtrActiveCycles])
+	if inst == 0 || cycles == 0 {
+		return nil
+	}
+	bytes := float64(values[pmu.CtrLoadSectors]+values[pmu.CtrStoreSectors]) * float64(spec.SectorSize)
+	clockHz := float64(spec.ClockMHz) * 1e6
+
+	r := &Roofline{}
+	// inst/cycles is the per-SM IPC (cycles are summed over active SMs);
+	// scaling by the SM count gives the device-level rate at full spread.
+	r.AchievedGIPS = inst / cycles * float64(spec.SMs) * clockHz / 1e9
+	r.PeakGIPS = spec.IPCMax() * float64(spec.SMs) * clockHz / 1e9
+	if bytes == 0 {
+		// No memory traffic: purely compute-side, infinite intensity.
+		r.IntensityInstPerByte = 0
+		r.MemCeilingGIPS = r.PeakGIPS
+		r.Bound = "compute"
+	} else {
+		r.IntensityInstPerByte = inst / bytes
+		bwBytesPerSec := spec.DRAMBytesPerCycle * clockHz
+		r.MemCeilingGIPS = r.IntensityInstPerByte * bwBytesPerSec / 1e9
+		if r.MemCeilingGIPS < r.PeakGIPS {
+			r.Bound = "memory"
+		} else {
+			r.Bound = "compute"
+		}
+	}
+	ceiling := r.PeakGIPS
+	if r.MemCeilingGIPS < ceiling && r.MemCeilingGIPS > 0 {
+		ceiling = r.MemCeilingGIPS
+	}
+	if ceiling > 0 {
+		r.CeilingFraction = r.AchievedGIPS / ceiling
+	}
+	return r
+}
+
+// String renders the placement on one line.
+func (r *Roofline) String() string {
+	return fmt.Sprintf("roofline: %.2f GIPS at %.3f inst/B (%s-bound ceiling %.2f GIPS, %.0f%% of it)",
+		r.AchievedGIPS, r.IntensityInstPerByte, r.Bound,
+		minF(r.PeakGIPS, r.MemCeilingGIPS), 100*r.CeilingFraction)
+}
+
+func minF(a, b float64) float64 {
+	if b > 0 && b < a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gputopdown/internal/gpu"
+	"gputopdown/internal/pmu"
+)
+
+func TestRooflineComputeBound(t *testing.T) {
+	spec := gpu.QuadroRTX4000()
+	v := pmu.Values{
+		pmu.CtrInstExecuted: 2_000_000,
+		pmu.CtrActiveCycles: 1_000_000,
+		pmu.CtrLoadSectors:  100, // almost no memory traffic
+		pmu.CtrStoreSectors: 0,
+	}
+	r := ComputeRoofline(spec, v)
+	if r == nil {
+		t.Fatal("nil roofline")
+	}
+	if r.Bound != "compute" {
+		t.Errorf("bound = %s, want compute (intensity %.3f)", r.Bound, r.IntensityInstPerByte)
+	}
+	// IPC 2 on a 36-SM device at IPC_MAX 2: at the peak.
+	if math.Abs(r.CeilingFraction-1) > 0.01 {
+		t.Errorf("ceiling fraction = %g, want ~1", r.CeilingFraction)
+	}
+	if r.PeakGIPS <= 0 || r.AchievedGIPS <= 0 {
+		t.Errorf("non-positive throughput: %+v", r)
+	}
+}
+
+func TestRooflineMemoryBound(t *testing.T) {
+	spec := gpu.QuadroRTX4000()
+	// A bandwidth-starved profile: 128 MB of traffic for 100k instructions
+	// over 1M cycles on each of the 36 SMs.
+	v := pmu.Values{
+		pmu.CtrInstExecuted: 100_000,
+		pmu.CtrActiveCycles: 36_000_000,
+		pmu.CtrLoadSectors:  3_000_000,
+		pmu.CtrStoreSectors: 1_000_000,
+	}
+	r := ComputeRoofline(spec, v)
+	if r.Bound != "memory" {
+		t.Errorf("bound = %s, want memory", r.Bound)
+	}
+	if r.MemCeilingGIPS >= r.PeakGIPS {
+		t.Errorf("memory ceiling %.2f not below peak %.2f", r.MemCeilingGIPS, r.PeakGIPS)
+	}
+	if r.CeilingFraction <= 0 || r.CeilingFraction > 1.5 {
+		t.Errorf("ceiling fraction = %g", r.CeilingFraction)
+	}
+}
+
+func TestRooflineNilOnEmpty(t *testing.T) {
+	if ComputeRoofline(gpu.QuadroRTX4000(), pmu.Values{}) != nil {
+		t.Error("empty values produced a roofline")
+	}
+}
+
+func TestRooflineNoMemoryTraffic(t *testing.T) {
+	r := ComputeRoofline(gpu.QuadroRTX4000(), pmu.Values{
+		pmu.CtrInstExecuted: 1000,
+		pmu.CtrActiveCycles: 1000,
+	})
+	if r.Bound != "compute" {
+		t.Errorf("traffic-free kernel bound = %s", r.Bound)
+	}
+}
+
+func TestRooflineString(t *testing.T) {
+	r := ComputeRoofline(gpu.QuadroRTX4000(), pmu.Values{
+		pmu.CtrInstExecuted: 1000,
+		pmu.CtrActiveCycles: 1000,
+		pmu.CtrLoadSectors:  1000,
+	})
+	s := r.String()
+	for _, want := range []string{"GIPS", "inst/B", "bound"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("roofline string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestRooflineRequestValid(t *testing.T) {
+	req := RooflineRequest()
+	if len(req) < 4 {
+		t.Fatalf("request too small: %v", req)
+	}
+	if _, err := pmu.BuildSchedule(req); err != nil {
+		t.Fatal(err)
+	}
+}

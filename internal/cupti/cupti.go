@@ -1,0 +1,255 @@
+// Package cupti is the profiling middleware between the PMU and the
+// analyzer, mirroring NVIDIA's CUDA Profiling Tools Interface: a Session
+// schedules a counter request onto passes (internal/pmu), replays every
+// kernel launch once per pass with cache flushes and memory save/restore in
+// between, and merges the per-pass readings into one record per kernel
+// invocation.
+//
+// The replay machinery is also what makes profiling expensive: a level-3
+// Top-Down counter set needs 8 passes, and each pass pays a flush whose cost
+// grows with the working set — the ~13x overhead the paper measures in
+// Fig. 13 (§V.E).
+package cupti
+
+import (
+	"fmt"
+
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/pmu"
+	"gputopdown/internal/sim"
+	"gputopdown/internal/sm"
+)
+
+// Mode selects the collection mechanism (paper §II.A).
+type Mode uint8
+
+const (
+	// ModeSMPC collects SM counters from every SM on the device.
+	ModeSMPC Mode = iota
+	// ModeHWPM can observe any unit but only a subgroup of the hardware; we
+	// model it as sampling a single SM and extrapolating.
+	ModeHWPM
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeHWPM {
+		return "HWPM"
+	}
+	return "SMPC"
+}
+
+// passSetupCycles is the fixed driver/PMU reconfiguration cost per pass.
+const passSetupCycles = 2000
+
+// KernelRecord is the profile of one kernel invocation.
+type KernelRecord struct {
+	Kernel string
+	// Invocation is the per-kernel-name invocation index (0-based).
+	Invocation int
+	// Cycles is the kernel's native duration (identical across passes, by
+	// determinism).
+	Cycles uint64
+	// Passes is how many replays were needed (1 for skipped samples).
+	Passes int
+	// Values holds the merged counter readings (device aggregate for SMPC,
+	// single-SM sample scaled to the device for HWPM). For an unsampled
+	// invocation under SetSampling these are the most recent sampled values.
+	Values pmu.Values
+	// Sampled is false when this invocation ran natively under sampling and
+	// inherited another invocation's values.
+	Sampled bool
+	// SMsUsed is how many SMs participated.
+	SMsUsed int
+}
+
+// Session profiles kernel launches against a fixed counter request.
+type Session struct {
+	dev   *sim.Device
+	sched *pmu.Schedule
+	mode  Mode
+
+	// sampleEvery > 1 enables the paper's §VII mitigation: only every n-th
+	// invocation of a kernel is fully replayed; the rest run natively once
+	// and inherit the most recent sampled counter values.
+	sampleEvery int
+	lastSampled map[string]pmu.Values
+
+	records     []KernelRecord
+	invocations map[string]int
+
+	// Overhead accounting (simulated device cycles).
+	nativeCycles   uint64
+	profiledCycles uint64
+}
+
+// NewSession builds a profiling session for the requested counters.
+func NewSession(dev *sim.Device, request []pmu.CounterID, mode Mode) (*Session, error) {
+	sched, err := pmu.BuildSchedule(request)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		dev:         dev,
+		sched:       sched,
+		mode:        mode,
+		sampleEvery: 1,
+		lastSampled: map[string]pmu.Values{},
+		invocations: map[string]int{},
+	}, nil
+}
+
+// SetSampling makes the session fully profile only every n-th invocation of
+// each kernel; the others execute once, natively, and reuse the most recent
+// sampled values. This is the overhead mitigation the paper proposes for
+// applications with very large kernel-invocation counts (§V.E, §VII). n < 1
+// is treated as 1 (profile everything).
+func (s *Session) SetSampling(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.sampleEvery = n
+}
+
+// SampleEvery returns the configured sampling interval.
+func (s *Session) SampleEvery() int { return s.sampleEvery }
+
+// NumPasses returns the replay count per kernel.
+func (s *Session) NumPasses() int { return s.sched.NumPasses() }
+
+// Mode returns the collection mode.
+func (s *Session) Mode() Mode { return s.mode }
+
+// flushCycles models the per-pass cache/memory flush cost: the dirty
+// fraction of the working set is written back through DRAM bandwidth, plus a
+// fixed reconfiguration cost. Large working sets make profiling
+// disproportionately expensive (paper §V.E).
+func (s *Session) flushCycles() uint64 {
+	allocated := s.dev.Storage.Mark() // watermark ~ working set
+	return uint64(float64(allocated)/(4*s.dev.Spec.DRAMBytesPerCycle)) + passSetupCycles
+}
+
+// Profile replays the launch once per scheduled pass and returns the merged
+// record. Device memory is saved before the first pass and restored before
+// each subsequent one, so every pass observes identical initial state; the
+// final pass's memory effects are kept (the kernel "ran once" from the
+// application's point of view).
+func (s *Session) Profile(l *kernel.Launch) (*KernelRecord, error) {
+	if s.sampleEvery > 1 {
+		if inv := s.invocations[l.Program.Name]; inv%s.sampleEvery != 0 {
+			return s.profileSkipped(l, inv)
+		}
+	}
+	values := pmu.Values{}
+	var snap []byte
+	passes := s.sched.Passes
+	rec := &KernelRecord{
+		Kernel:  l.Program.Name,
+		Passes:  len(passes),
+		Sampled: true,
+	}
+	if len(passes) > 1 {
+		snap = s.dev.Storage.Snapshot()
+	}
+	for i, pass := range passes {
+		if i > 0 {
+			s.dev.Storage.Restore(snap)
+		}
+		s.dev.FlushCaches()
+		res, err := s.dev.Launch(l)
+		if err != nil {
+			return nil, fmt.Errorf("cupti: pass %d of %s: %w", i, l.Program.Name, err)
+		}
+		counters := s.collect(res)
+		values.Merge(pass, &counters)
+		if i == 0 {
+			rec.Cycles = res.Cycles
+			rec.SMsUsed = res.SMsUsed
+			s.nativeCycles += res.Cycles
+		}
+		s.profiledCycles += res.Cycles + s.flushCycles()
+	}
+	rec.Values = values
+	rec.Invocation = s.invocations[rec.Kernel]
+	s.invocations[rec.Kernel]++
+	s.lastSampled[rec.Kernel] = values
+	s.records = append(s.records, *rec)
+	return rec, nil
+}
+
+// profileSkipped runs an unsampled invocation once, natively, and reuses the
+// kernel's most recent sampled values.
+func (s *Session) profileSkipped(l *kernel.Launch, inv int) (*KernelRecord, error) {
+	res, err := s.dev.Launch(l)
+	if err != nil {
+		return nil, fmt.Errorf("cupti: skipped invocation of %s: %w", l.Program.Name, err)
+	}
+	rec := &KernelRecord{
+		Kernel:     l.Program.Name,
+		Invocation: inv,
+		Cycles:     res.Cycles,
+		Passes:     1,
+		Values:     s.lastSampled[l.Program.Name],
+		Sampled:    false,
+		SMsUsed:    res.SMsUsed,
+	}
+	s.invocations[rec.Kernel]++
+	s.nativeCycles += res.Cycles
+	s.profiledCycles += res.Cycles
+	s.records = append(s.records, *rec)
+	return rec, nil
+}
+
+// collect reduces a run result to one counter snapshot per the session mode.
+func (s *Session) collect(res *sim.RunResult) sm.Counters {
+	if s.mode == ModeSMPC || len(res.PerSM) == 0 {
+		return res.Counters
+	}
+	// HWPM: observe the first SM that did work, scale to the device.
+	var sample sm.Counters
+	for i := range res.PerSM {
+		if res.PerSM[i].InstExecuted > 0 {
+			sample = res.PerSM[i]
+			break
+		}
+	}
+	scaled := sm.Counters{}
+	for i := 0; i < res.SMsUsed; i++ {
+		scaled.Add(&sample)
+	}
+	return scaled
+}
+
+// Records returns all kernel records in invocation order.
+func (s *Session) Records() []KernelRecord { return s.records }
+
+// RecordsFor returns the records of one kernel name, ordered by invocation.
+func (s *Session) RecordsFor(name string) []KernelRecord {
+	var out []KernelRecord
+	for _, r := range s.records {
+		if r.Kernel == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Overhead returns (native, profiled) simulated cycle totals across every
+// profiled launch; profiled/native is the paper's Fig. 13 ratio.
+func (s *Session) Overhead() (native, profiled uint64) {
+	return s.nativeCycles, s.profiledCycles
+}
+
+// Reset clears records and overhead accounting, keeping the schedule.
+func (s *Session) Reset() {
+	s.records = nil
+	s.invocations = map[string]int{}
+	s.nativeCycles = 0
+	s.profiledCycles = 0
+}
+
+// RunNative executes a launch without any profiling machinery, for
+// overhead-baseline measurements.
+func RunNative(dev *sim.Device, l *kernel.Launch) (*sim.RunResult, error) {
+	return dev.Launch(l)
+}

@@ -1,0 +1,160 @@
+// Package mem implements the GPU memory substrate: device-memory storage,
+// sectored set-associative caches (L1 data, L1 instruction, immediate-
+// constant), a bandwidth/latency DRAM model with a finite request queue,
+// timed instruction queues (LG/MIO/TEX), the global-memory coalescer and the
+// shared-memory bank-conflict model.
+//
+// Everything here is deterministic: given the same access sequence, every
+// structure returns the same hits, misses and completion cycles. That
+// property is what makes CUPTI-style multi-pass kernel replay (internal/
+// cupti) sound.
+package mem
+
+import "fmt"
+
+// CacheStats counts cache activity. Hits+Misses == Lookups always holds
+// (checked by property tests).
+type CacheStats struct {
+	Lookups   uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+type cacheLine struct {
+	tag     uint64
+	valid   bool
+	sectors uint32 // bitmask of valid sectors within the line
+	lastUse uint64 // LRU timestamp
+}
+
+// Cache is a sectored, set-associative, LRU cache. A lookup hits only if the
+// specific sector of the line is present; a miss fills that sector (and
+// allocates the line if needed), modelling NVIDIA's 128-byte lines with
+// 32-byte sectors.
+type Cache struct {
+	name       string
+	sets       int
+	ways       int
+	lineSize   uint64
+	sectorSize uint64
+	lines      []cacheLine // sets*ways, row-major by set
+	tick       uint64
+	stats      CacheStats
+}
+
+// NewCache builds a cache of size bytes with the given associativity and
+// line/sector geometry. size must be a multiple of ways*lineSize.
+func NewCache(name string, size, ways, lineSize, sectorSize int) *Cache {
+	if size <= 0 || ways <= 0 || lineSize <= 0 || sectorSize <= 0 {
+		panic(fmt.Sprintf("mem: bad cache geometry %s size=%d ways=%d line=%d sector=%d",
+			name, size, ways, lineSize, sectorSize))
+	}
+	if lineSize%sectorSize != 0 {
+		panic(fmt.Sprintf("mem: %s line size %d not a multiple of sector size %d", name, lineSize, sectorSize))
+	}
+	sets := size / (ways * lineSize)
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{
+		name:       name,
+		sets:       sets,
+		ways:       ways,
+		lineSize:   uint64(lineSize),
+		sectorSize: uint64(sectorSize),
+		lines:      make([]cacheLine, sets*ways),
+	}
+}
+
+// Access looks up the sector containing addr, filling it on a miss, and
+// reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	c.stats.Lookups++
+	lineAddr := addr / c.lineSize
+	tag := lineAddr / uint64(c.sets)
+	set := int(lineAddr % uint64(c.sets))
+	sectorBit := uint32(1) << ((addr % c.lineSize) / c.sectorSize)
+
+	base := set * c.ways
+	var victim, lruWay int
+	var lruTick uint64 = ^uint64(0)
+	victim = -1
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			ln.lastUse = c.tick
+			if ln.sectors&sectorBit != 0 {
+				c.stats.Hits++
+				return true
+			}
+			// Line present, sector absent: sector miss, fill the sector.
+			ln.sectors |= sectorBit
+			c.stats.Misses++
+			return false
+		}
+		if !ln.valid {
+			if victim < 0 {
+				victim = w
+			}
+		} else if ln.lastUse < lruTick {
+			lruTick = ln.lastUse
+			lruWay = w
+		}
+	}
+	c.stats.Misses++
+	if victim < 0 {
+		victim = lruWay
+		c.stats.Evictions++
+	}
+	c.lines[base+victim] = cacheLine{tag: tag, valid: true, sectors: sectorBit, lastUse: c.tick}
+	return false
+}
+
+// Probe reports whether the sector containing addr is present without
+// modifying any state.
+func (c *Cache) Probe(addr uint64) bool {
+	lineAddr := addr / c.lineSize
+	tag := lineAddr / uint64(c.sets)
+	set := int(lineAddr % uint64(c.sets))
+	sectorBit := uint32(1) << ((addr % c.lineSize) / c.sectorSize)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag && ln.sectors&sectorBit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line, as the profiler does between replay passes.
+// Statistics are preserved.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+}
+
+// Reset flushes the cache and zeroes its statistics.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.stats = CacheStats{}
+	c.tick = 0
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets and Ways expose the geometry for tests.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SectorSize returns the sector size in bytes.
+func (c *Cache) SectorSize() uint64 { return c.sectorSize }

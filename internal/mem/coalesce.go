@@ -1,0 +1,115 @@
+package mem
+
+// CoalesceSectors reduces the per-thread addresses of one warp memory
+// instruction to the set of unique memory sectors touched, which is the unit
+// of L1/L2/DRAM traffic. addrs[i] is the address of lane i; only lanes whose
+// bit is set in mask participate; size is the per-thread access width in
+// bytes. The result is sorted ascending and deduplicated — fully coalesced
+// 4-byte accesses from 32 lanes touch 4 sectors of 32 bytes, a strided or
+// random pattern up to 32 (or 64 for 8-byte accesses spanning sectors).
+func CoalesceSectors(addrs *[32]uint64, mask uint32, size int, sectorSize uint64) []uint64 {
+	sectors := make([]uint64, 0, 8)
+	for lane := 0; lane < 32; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		first := addrs[lane] / sectorSize
+		last := (addrs[lane] + uint64(size) - 1) / sectorSize
+		for s := first; s <= last; s++ {
+			sectors = insertSorted(sectors, s*sectorSize)
+		}
+	}
+	return sectors
+}
+
+func insertSorted(xs []uint64, v uint64) []uint64 {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(xs) && xs[lo] == v {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[lo+1:], xs[lo:])
+	xs[lo] = v
+	return xs
+}
+
+// SharedBanks is the number of shared-memory banks on every modern NVIDIA
+// architecture.
+const SharedBanks = 32
+
+// BankConflictDegree returns the number of shared-memory cycles one warp
+// access needs: the maximum, over banks, of distinct 4-byte words requested
+// in that bank. Lanes reading the same word broadcast and do not conflict.
+// The result is at least 1 when any lane is active, so it can be used
+// directly as the replay/serialisation factor.
+func BankConflictDegree(addrs *[32]uint64, mask uint32, size int) int {
+	// words per bank; same word counted once (broadcast).
+	var bankWords [SharedBanks][]uint64
+	degree := 0
+	for lane := 0; lane < 32; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		// An 8-byte access occupies two consecutive words.
+		nwords := (size + 3) / 4
+		for w := 0; w < nwords; w++ {
+			word := addrs[lane]/4 + uint64(w)
+			bank := int(word % SharedBanks)
+			found := false
+			for _, ex := range bankWords[bank] {
+				if ex == word {
+					found = true
+					break
+				}
+			}
+			if !found {
+				bankWords[bank] = append(bankWords[bank], word)
+				if len(bankWords[bank]) > degree {
+					degree = len(bankWords[bank])
+				}
+			}
+		}
+	}
+	if degree == 0 && mask != 0 {
+		degree = 1
+	}
+	return degree
+}
+
+// UniqueAddrs returns the count of distinct active-lane addresses.
+func UniqueAddrs(addrs *[32]uint64, mask uint32) int {
+	seen := make(map[uint64]struct{}, 8)
+	for lane := 0; lane < 32; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		seen[addrs[lane]] = struct{}{}
+	}
+	return len(seen)
+}
+
+// MaxContention returns the largest number of active lanes targeting one
+// address — the strict serialisation depth of a warp atomic, since the L2
+// ROP unit performs same-address read-modify-writes one at a time.
+func MaxContention(addrs *[32]uint64, mask uint32) int {
+	counts := make(map[uint64]int, 8)
+	best := 0
+	for lane := 0; lane < 32; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		counts[addrs[lane]]++
+		if counts[addrs[lane]] > best {
+			best = counts[addrs[lane]]
+		}
+	}
+	return best
+}

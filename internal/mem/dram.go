@@ -1,0 +1,138 @@
+package mem
+
+// DRAMStats counts device-memory activity.
+type DRAMStats struct {
+	Requests     uint64
+	Bytes        uint64
+	QueueRejects uint64 // requests bounced off a full queue
+}
+
+// DRAM models device memory as a fixed service latency plus a bandwidth
+// constraint, fronted by a finite request queue. When the queue is full the
+// requester must retry later — the condition the SM reports as a memory-
+// throttle stall.
+type DRAM struct {
+	latency       uint64
+	bytesPerCycle float64
+	queueDepth    int
+
+	// bandFree is the cycle at which the data bus becomes free.
+	bandFree float64
+	// inflight holds completion cycles of queued requests, oldest first.
+	inflight []uint64
+	stats    DRAMStats
+}
+
+// NewDRAM builds a DRAM model. latency is the full L2-miss service latency in
+// core cycles; bytesPerCycle is the sustained bandwidth.
+func NewDRAM(latency int, bytesPerCycle float64, queueDepth int) *DRAM {
+	return &DRAM{
+		latency:       uint64(latency),
+		bytesPerCycle: bytesPerCycle,
+		queueDepth:    queueDepth,
+		inflight:      make([]uint64, 0, queueDepth),
+	}
+}
+
+func (d *DRAM) drain(now uint64) {
+	i := 0
+	for i < len(d.inflight) && d.inflight[i] <= now {
+		i++
+	}
+	if i > 0 {
+		d.inflight = append(d.inflight[:0], d.inflight[i:]...)
+	}
+}
+
+// Full reports whether the request queue is full at the given cycle.
+func (d *DRAM) Full(now uint64) bool {
+	d.drain(now)
+	if len(d.inflight) >= d.queueDepth {
+		d.stats.QueueRejects++
+		return true
+	}
+	return false
+}
+
+// Request enqueues a transfer of n bytes at cycle now and returns its
+// completion cycle. Callers must check Full first; Request never rejects.
+func (d *DRAM) Request(now uint64, n int) uint64 {
+	d.drain(now)
+	start := float64(now)
+	if d.bandFree > start {
+		start = d.bandFree
+	}
+	d.bandFree = start + float64(n)/d.bytesPerCycle
+	done := uint64(start) + d.latency
+	// Keep the inflight list sorted by completion; completions are
+	// monotonic because start times are.
+	d.inflight = append(d.inflight, done)
+	d.stats.Requests++
+	d.stats.Bytes += uint64(n)
+	return done
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (d *DRAM) Stats() DRAMStats { return d.stats }
+
+// Reset clears queue state and statistics.
+func (d *DRAM) Reset() {
+	d.bandFree = 0
+	d.inflight = d.inflight[:0]
+	d.stats = DRAMStats{}
+}
+
+// TimedQueue is a bounded queue of in-flight operations identified only by
+// their completion cycles. The SM front-ends use it for the LG, MIO and TEX
+// instruction queues: a full queue at issue time is a throttle stall.
+type TimedQueue struct {
+	depth   int
+	pending []uint64
+}
+
+// NewTimedQueue builds a queue with the given depth.
+func NewTimedQueue(depth int) *TimedQueue {
+	return &TimedQueue{depth: depth, pending: make([]uint64, 0, depth)}
+}
+
+func (q *TimedQueue) drain(now uint64) {
+	i := 0
+	for i < len(q.pending) && q.pending[i] <= now {
+		i++
+	}
+	if i > 0 {
+		q.pending = append(q.pending[:0], q.pending[i:]...)
+	}
+}
+
+// Full reports whether the queue has no free entry at cycle now.
+func (q *TimedQueue) Full(now uint64) bool {
+	q.drain(now)
+	return len(q.pending) >= q.depth
+}
+
+// Push records an operation completing at cycle done. Entries must be pushed
+// in non-decreasing completion order (true for in-order pipes).
+func (q *TimedQueue) Push(done uint64) {
+	if n := len(q.pending); n > 0 && q.pending[n-1] > done {
+		// Preserve sortedness even if a caller violates monotonicity.
+		i := n
+		for i > 0 && q.pending[i-1] > done {
+			i--
+		}
+		q.pending = append(q.pending, 0)
+		copy(q.pending[i+1:], q.pending[i:])
+		q.pending[i] = done
+		return
+	}
+	q.pending = append(q.pending, done)
+}
+
+// Len returns the occupancy at cycle now.
+func (q *TimedQueue) Len(now uint64) int {
+	q.drain(now)
+	return len(q.pending)
+}
+
+// Reset empties the queue.
+func (q *TimedQueue) Reset() { q.pending = q.pending[:0] }

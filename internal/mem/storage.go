@@ -1,0 +1,210 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Storage is flat byte-addressable device memory with a bump allocator. The
+// first page is left unmapped so that address 0 can serve as a null pointer;
+// out-of-bounds accesses panic, turning kernel addressing bugs into
+// immediate failures instead of silent corruption.
+type Storage struct {
+	data []byte
+	next uint64
+	base uint64
+}
+
+// NewStorage creates a device memory of the given size in bytes.
+func NewStorage(size int) *Storage {
+	const page = 4096
+	return &Storage{data: make([]byte, size), next: page, base: page}
+}
+
+// Alloc reserves n bytes (8-byte aligned) and returns the device address.
+func (s *Storage) Alloc(n int) uint64 {
+	if n < 0 {
+		panic("mem: negative allocation")
+	}
+	addr := s.next
+	s.next += uint64(n)
+	s.next = (s.next + 7) &^ 7
+	if s.next > uint64(len(s.data)) {
+		panic(fmt.Sprintf("mem: device out of memory (%d of %d bytes used)", s.next, len(s.data)))
+	}
+	return addr
+}
+
+// FreeAll releases every allocation (the data itself is retained).
+func (s *Storage) FreeAll() { s.next = s.base }
+
+// Snapshot copies the allocated region of device memory, so a profiler can
+// restore pre-kernel state between replay passes (as CUPTI's kernel replay
+// save/restore does).
+func (s *Storage) Snapshot() []byte {
+	snap := make([]byte, s.next-s.base)
+	copy(snap, s.data[s.base:s.next])
+	return snap
+}
+
+// Restore writes back a Snapshot taken at the same allocation watermark.
+func (s *Storage) Restore(snap []byte) {
+	if uint64(len(snap)) != s.next-s.base {
+		panic(fmt.Sprintf("mem: restore of %d bytes against %d allocated", len(snap), s.next-s.base))
+	}
+	copy(s.data[s.base:s.next], snap)
+}
+
+// Mark returns the current allocation watermark, to be restored by Release —
+// a scoped-arena idiom for per-launch allocations like local-memory backing.
+func (s *Storage) Mark() uint64 { return s.next }
+
+// Release rewinds the allocator to a previous Mark.
+func (s *Storage) Release(mark uint64) {
+	if mark < s.base || mark > s.next {
+		panic(fmt.Sprintf("mem: Release(0x%x) outside [0x%x,0x%x]", mark, s.base, s.next))
+	}
+	s.next = mark
+}
+
+// InBounds reports whether [addr, addr+n) is a mapped device range.
+func (s *Storage) InBounds(addr uint64, n int) bool {
+	return addr >= s.base && addr+uint64(n) <= s.next
+}
+
+func (s *Storage) check(addr uint64, n int) {
+	if !s.InBounds(addr, n) {
+		panic(fmt.Sprintf("mem: access of %d bytes at 0x%x outside allocated [0x%x,0x%x)", n, addr, s.base, s.next))
+	}
+}
+
+// Read returns size (4 or 8) bytes at addr, zero-extended to 64 bits.
+func (s *Storage) Read(addr uint64, size int) uint64 {
+	s.check(addr, size)
+	switch size {
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(s.data[addr:]))
+	case 8:
+		return binary.LittleEndian.Uint64(s.data[addr:])
+	default:
+		panic(fmt.Sprintf("mem: unsupported access size %d", size))
+	}
+}
+
+// Write stores the low size (4 or 8) bytes of v at addr.
+func (s *Storage) Write(addr uint64, v uint64, size int) {
+	s.check(addr, size)
+	switch size {
+	case 4:
+		binary.LittleEndian.PutUint32(s.data[addr:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(s.data[addr:], v)
+	default:
+		panic(fmt.Sprintf("mem: unsupported access size %d", size))
+	}
+}
+
+// ReadF32 reads a float32 at addr.
+func (s *Storage) ReadF32(addr uint64) float32 {
+	return math.Float32frombits(uint32(s.Read(addr, 4)))
+}
+
+// WriteF32 stores a float32 at addr.
+func (s *Storage) WriteF32(addr uint64, v float32) {
+	s.Write(addr, uint64(math.Float32bits(v)), 4)
+}
+
+// WriteU32Slice copies a []uint32 to device memory starting at addr.
+func (s *Storage) WriteU32Slice(addr uint64, vs []uint32) {
+	for i, v := range vs {
+		s.Write(addr+uint64(i)*4, uint64(v), 4)
+	}
+}
+
+// WriteF32Slice copies a []float32 to device memory starting at addr.
+func (s *Storage) WriteF32Slice(addr uint64, vs []float32) {
+	for i, v := range vs {
+		s.WriteF32(addr+uint64(i)*4, v)
+	}
+}
+
+// ReadU32Slice copies n uint32 values from device memory at addr.
+func (s *Storage) ReadU32Slice(addr uint64, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(s.Read(addr+uint64(i)*4, 4))
+	}
+	return out
+}
+
+// ReadF32Slice copies n float32 values from device memory at addr.
+func (s *Storage) ReadF32Slice(addr uint64, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = s.ReadF32(addr + uint64(i)*4)
+	}
+	return out
+}
+
+// ConstantBank is the device's read-only constant space: launch parameters
+// live in the low region (kernel.ParamBase onward) and user __constant__
+// data above kernel.ParamSpace. It is backed by plain bytes; timing is
+// applied by the IMC cache in the data path.
+type ConstantBank struct {
+	data []byte
+}
+
+// NewConstantBank creates a constant bank of the given size.
+func NewConstantBank(size int) *ConstantBank {
+	return &ConstantBank{data: make([]byte, size)}
+}
+
+// Size returns the bank capacity in bytes.
+func (c *ConstantBank) Size() int { return len(c.data) }
+
+func (c *ConstantBank) check(off int64, n int) {
+	if off < 0 || int(off)+n > len(c.data) {
+		panic(fmt.Sprintf("mem: constant access of %d bytes at 0x%x outside bank of %d bytes", n, off, len(c.data)))
+	}
+}
+
+// Read returns size (4 or 8) bytes at offset off.
+func (c *ConstantBank) Read(off int64, size int) uint64 {
+	c.check(off, size)
+	switch size {
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(c.data[off:]))
+	case 8:
+		return binary.LittleEndian.Uint64(c.data[off:])
+	default:
+		panic(fmt.Sprintf("mem: unsupported constant access size %d", size))
+	}
+}
+
+// Write stores the low size bytes of v at offset off (host-side API).
+func (c *ConstantBank) Write(off int64, v uint64, size int) {
+	c.check(off, size)
+	switch size {
+	case 4:
+		binary.LittleEndian.PutUint32(c.data[off:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(c.data[off:], v)
+	default:
+		panic(fmt.Sprintf("mem: unsupported constant access size %d", size))
+	}
+}
+
+// WriteF32Slice copies float32 values into the bank at offset off.
+func (c *ConstantBank) WriteF32Slice(off int64, vs []float32) {
+	for i, v := range vs {
+		c.Write(off+int64(i)*4, uint64(math.Float32bits(v)), 4)
+	}
+}
+
+// Clear zeroes the bank.
+func (c *ConstantBank) Clear() {
+	for i := range c.data {
+		c.data[i] = 0
+	}
+}

@@ -1,0 +1,348 @@
+// Package pmu models the GPU's Performance Monitoring Unit: the raw hardware
+// counters an SM can expose, the limited number of physical counter slots,
+// and the scheduling of a counter request onto multiple kernel-replay
+// passes.
+//
+// The key constraint the paper leans on (§II.A, §V.E) is that the PMU cannot
+// observe everything at once: warp-state counters go through a small number
+// of multiplexers (NumStateMuxes per subpartition, one state each per pass)
+// and generic counters through GenericSlotsPerPass slots, while cycle and
+// instruction counters are free-running and cost nothing. A full level-3
+// Top-Down metric set therefore needs 8 passes — the replay factor behind
+// the paper's ~13x profiling overhead (Fig. 13).
+package pmu
+
+import (
+	"fmt"
+	"sort"
+
+	"gputopdown/internal/sm"
+)
+
+// CounterID identifies one raw PMU counter.
+type CounterID uint16
+
+// Raw counters. The first block is free-running; warp-state counters occupy
+// a contiguous range starting at CtrStallBase.
+const (
+	CtrActiveCycles CounterID = iota
+	CtrElapsedCycles
+	CtrActiveWarpCycles
+	CtrSubpActiveCycles
+	CtrInstExecuted
+	CtrInstIssued
+	CtrThreadInstExecuted
+	CtrBlocksLaunched
+	CtrWarpsLaunched
+
+	// CtrStallBase + s is the warp-cycle counter of sm.WarpState s.
+	CtrStallBase
+	ctrStallEnd = CtrStallBase + sm.NumWarpStates - 1
+)
+
+// Generic (slotted) counters continue after the warp-state range.
+const (
+	CtrBranchInstrs CounterID = ctrStallEnd + 1 + iota
+	CtrDivergentBranches
+	CtrSharedLoads
+	CtrSharedStores
+	CtrSharedBankConflicts
+	CtrGlobalLoads
+	CtrGlobalStores
+	CtrLoadSectors
+	CtrStoreSectors
+	CtrL1Hits
+	CtrL1Misses
+	CtrL2Hits
+	CtrL2Misses
+	CtrConstLoads
+	CtrIMCHits
+	CtrIMCMisses
+	CtrTexFetches
+	CtrAtomics
+	CtrICacheHits
+	CtrICacheMisses
+	CtrRegBankConflicts
+	numCounters
+)
+
+// NumCounters is the number of defined raw counters.
+const NumCounters = int(numCounters)
+
+// PMU capacity per pass.
+const (
+	// GenericSlotsPerPass is how many slotted (non-state, non-free) counters
+	// one pass can collect.
+	GenericSlotsPerPass = 4
+	// NumStateMuxes is how many warp-state multiplexers exist; each observes
+	// one warp state per pass.
+	NumStateMuxes = 2
+)
+
+// StallCounter returns the counter observing warp-state s.
+func StallCounter(s sm.WarpState) CounterID {
+	return CtrStallBase + CounterID(s)
+}
+
+// IsWarpState reports whether id is a warp-state counter and which state.
+func IsWarpState(id CounterID) (sm.WarpState, bool) {
+	if id >= CtrStallBase && id <= ctrStallEnd {
+		return sm.WarpState(id - CtrStallBase), true
+	}
+	return 0, false
+}
+
+// IsFreeRunning reports whether the counter is collected without consuming a
+// slot (cycle and instruction counters run continuously on real PMUs).
+func IsFreeRunning(id CounterID) bool { return id < CtrStallBase }
+
+// StateMux returns the multiplexer a warp-state counter is wired to.
+func StateMux(id CounterID) int {
+	s, ok := IsWarpState(id)
+	if !ok {
+		return -1
+	}
+	return int(s) % NumStateMuxes
+}
+
+// Valid reports whether id names a defined counter.
+func Valid(id CounterID) bool { return id < numCounters }
+
+// Name returns a raw, ncu-flavoured counter name.
+func Name(id CounterID) string {
+	if s, ok := IsWarpState(id); ok {
+		return "smsp__warps_issue_stalled_" + s.String()
+	}
+	switch id {
+	case CtrActiveCycles:
+		return "sm__cycles_active"
+	case CtrElapsedCycles:
+		return "sm__cycles_elapsed"
+	case CtrActiveWarpCycles:
+		return "smsp__warps_active"
+	case CtrSubpActiveCycles:
+		return "smsp__cycles_active"
+	case CtrInstExecuted:
+		return "smsp__inst_executed"
+	case CtrInstIssued:
+		return "smsp__inst_issued"
+	case CtrThreadInstExecuted:
+		return "smsp__thread_inst_executed"
+	case CtrBlocksLaunched:
+		return "sm__ctas_launched"
+	case CtrWarpsLaunched:
+		return "smsp__warps_launched"
+	case CtrBranchInstrs:
+		return "smsp__inst_executed_op_branch"
+	case CtrDivergentBranches:
+		return "smsp__branch_targets_threads_divergent"
+	case CtrSharedLoads:
+		return "smsp__inst_executed_op_shared_ld"
+	case CtrSharedStores:
+		return "smsp__inst_executed_op_shared_st"
+	case CtrSharedBankConflicts:
+		return "l1tex__data_bank_conflicts_pipe_lsu_mem_shared"
+	case CtrGlobalLoads:
+		return "smsp__inst_executed_op_global_ld"
+	case CtrGlobalStores:
+		return "smsp__inst_executed_op_global_st"
+	case CtrLoadSectors:
+		return "l1tex__t_sectors_pipe_lsu_mem_global_op_ld"
+	case CtrStoreSectors:
+		return "l1tex__t_sectors_pipe_lsu_mem_global_op_st"
+	case CtrL1Hits:
+		return "l1tex__t_sectors_lookup_hit"
+	case CtrL1Misses:
+		return "l1tex__t_sectors_lookup_miss"
+	case CtrL2Hits:
+		return "lts__t_sectors_lookup_hit"
+	case CtrL2Misses:
+		return "lts__t_sectors_lookup_miss"
+	case CtrConstLoads:
+		return "smsp__inst_executed_op_ldc"
+	case CtrIMCHits:
+		return "idc__requests_lookup_hit"
+	case CtrIMCMisses:
+		return "idc__requests_lookup_miss"
+	case CtrTexFetches:
+		return "smsp__inst_executed_op_texture"
+	case CtrAtomics:
+		return "smsp__inst_executed_op_global_atom"
+	case CtrICacheHits:
+		return "icc__requests_lookup_hit"
+	case CtrICacheMisses:
+		return "icc__requests_lookup_miss"
+	case CtrRegBankConflicts:
+		return "smsp__operand_collector_bank_conflicts"
+	}
+	return fmt.Sprintf("counter_%d", uint16(id))
+}
+
+// Read extracts a counter's value from an SM counter snapshot.
+func Read(c *sm.Counters, id CounterID) uint64 {
+	if s, ok := IsWarpState(id); ok {
+		return c.WarpStateCycles[s]
+	}
+	switch id {
+	case CtrActiveCycles:
+		return c.ActiveCycles
+	case CtrElapsedCycles:
+		return c.ElapsedCycles
+	case CtrActiveWarpCycles:
+		return c.ActiveWarpCycles
+	case CtrSubpActiveCycles:
+		return c.SubpActiveCycles
+	case CtrInstExecuted:
+		return c.InstExecuted
+	case CtrInstIssued:
+		return c.InstIssued
+	case CtrThreadInstExecuted:
+		return c.ThreadInstExecuted
+	case CtrBlocksLaunched:
+		return c.BlocksLaunched
+	case CtrWarpsLaunched:
+		return c.WarpsLaunched
+	case CtrBranchInstrs:
+		return c.BranchInstrs
+	case CtrDivergentBranches:
+		return c.DivergentBranches
+	case CtrSharedLoads:
+		return c.SharedLoads
+	case CtrSharedStores:
+		return c.SharedStores
+	case CtrSharedBankConflicts:
+		return c.SharedBankConflicts
+	case CtrGlobalLoads:
+		return c.GlobalLoads
+	case CtrGlobalStores:
+		return c.GlobalStores
+	case CtrLoadSectors:
+		return c.LoadSectors
+	case CtrStoreSectors:
+		return c.StoreSectors
+	case CtrL1Hits:
+		return c.L1Hits
+	case CtrL1Misses:
+		return c.L1Misses
+	case CtrL2Hits:
+		return c.L2Hits
+	case CtrL2Misses:
+		return c.L2Misses
+	case CtrConstLoads:
+		return c.ConstLoads
+	case CtrIMCHits:
+		return c.IMCHits
+	case CtrIMCMisses:
+		return c.IMCMisses
+	case CtrTexFetches:
+		return c.TexFetches
+	case CtrAtomics:
+		return c.Atomics
+	case CtrICacheHits:
+		return c.ICacheHits
+	case CtrICacheMisses:
+		return c.ICacheMisses
+	case CtrRegBankConflicts:
+		return c.RegBankConflicts
+	}
+	panic(fmt.Sprintf("pmu: unknown counter %d", uint16(id)))
+}
+
+// Schedule maps a counter request onto replay passes respecting the PMU's
+// per-pass capacity. Free-running counters are attached to pass 0.
+type Schedule struct {
+	// Passes[i] lists the counters collected during pass i.
+	Passes [][]CounterID
+}
+
+// NumPasses returns how many kernel replays the schedule needs.
+func (s *Schedule) NumPasses() int { return len(s.Passes) }
+
+// PassOf returns the pass index collecting the given counter, or -1.
+func (s *Schedule) PassOf(id CounterID) int {
+	for i, pass := range s.Passes {
+		for _, c := range pass {
+			if c == id {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// BuildSchedule packs the requested counters into as few passes as the PMU
+// capacity allows. The request is deduplicated; order does not matter.
+func BuildSchedule(request []CounterID) (*Schedule, error) {
+	seen := make(map[CounterID]bool, len(request))
+	var free, state, generic []CounterID
+	for _, id := range request {
+		if !Valid(id) {
+			return nil, fmt.Errorf("pmu: unknown counter id %d", uint16(id))
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		switch {
+		case IsFreeRunning(id):
+			free = append(free, id)
+		default:
+			if _, ok := IsWarpState(id); ok {
+				state = append(state, id)
+			} else {
+				generic = append(generic, id)
+			}
+		}
+	}
+	sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+	sort.Slice(state, func(i, j int) bool { return state[i] < state[j] })
+	sort.Slice(generic, func(i, j int) bool { return generic[i] < generic[j] })
+
+	// Pass count: warp-state counters are limited per-mux, generic ones by
+	// slot count. At least one pass even for a free-only request.
+	perMux := make([]int, NumStateMuxes)
+	for _, id := range state {
+		perMux[StateMux(id)]++
+	}
+	passes := 1
+	for _, n := range perMux {
+		if n > passes {
+			passes = n
+		}
+	}
+	if g := (len(generic) + GenericSlotsPerPass - 1) / GenericSlotsPerPass; g > passes {
+		passes = g
+	}
+
+	sched := &Schedule{Passes: make([][]CounterID, passes)}
+	sched.Passes[0] = append(sched.Passes[0], free...)
+	next := make([]int, NumStateMuxes)
+	for _, id := range state {
+		m := StateMux(id)
+		sched.Passes[next[m]] = append(sched.Passes[next[m]], id)
+		next[m]++
+	}
+	for i, id := range generic {
+		sched.Passes[i/GenericSlotsPerPass] = append(sched.Passes[i/GenericSlotsPerPass], id)
+	}
+	return sched, nil
+}
+
+// AllCounters returns every defined counter id, for exhaustive tests.
+func AllCounters() []CounterID {
+	ids := make([]CounterID, 0, NumCounters)
+	for id := CounterID(0); id < numCounters; id++ {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Values holds merged counter readings across passes.
+type Values map[CounterID]uint64
+
+// Merge records the counters of one completed pass into v.
+func (v Values) Merge(pass []CounterID, c *sm.Counters) {
+	for _, id := range pass {
+		v[id] = Read(c, id)
+	}
+}

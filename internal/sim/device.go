@@ -1,0 +1,257 @@
+// Package sim assembles a whole GPU device from the substrate packages: the
+// SMs (internal/sm), the shared L2 and DRAM (internal/mem), device global
+// memory, the constant bank, and the block dispatcher that streams a grid's
+// thread blocks onto SMs as residency limits allow — the GigaThread engine's
+// job on real hardware.
+//
+// A Device is deterministic: launching the same kernel on the same state
+// yields bit-identical counters, which is what makes multi-pass profiler
+// replay (internal/cupti) meaningful.
+package sim
+
+import (
+	"fmt"
+
+	"gputopdown/internal/gpu"
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/mem"
+	"gputopdown/internal/sm"
+)
+
+// DefaultMemBytes is the simulated global-memory size. The paper's GPUs have
+// 8 GB; workloads here are scaled to fit comfortably in a small host
+// allocation.
+const DefaultMemBytes = 64 << 20
+
+// maxLaunchCycles guards against non-terminating kernels.
+const maxLaunchCycles = 10_000_000
+
+// Device is one simulated GPU.
+type Device struct {
+	Spec    *gpu.Spec
+	Storage *mem.Storage
+	Const   *mem.ConstantBank
+	L2      *mem.Cache
+	DRAM    *mem.DRAM
+	SMs     []*sm.SM
+
+	launches      uint64
+	traceInterval uint64
+}
+
+// NewDevice builds a device with the default memory size.
+func NewDevice(spec *gpu.Spec) *Device {
+	return NewDeviceMem(spec, DefaultMemBytes)
+}
+
+// NewDeviceMem builds a device with an explicit global-memory size in bytes.
+func NewDeviceMem(spec *gpu.Spec, memBytes int) *Device {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Device{
+		Spec:    spec,
+		Storage: mem.NewStorage(memBytes),
+		Const:   mem.NewConstantBank(spec.ConstBankSize),
+		L2:      mem.NewCache("L2", spec.L2Size, spec.L2Ways, spec.LineSize, spec.SectorSize),
+		DRAM:    mem.NewDRAM(spec.DRAMLatency, spec.DRAMBytesPerCycle, spec.DRAMQueueDepth),
+	}
+	for i := 0; i < spec.SMs; i++ {
+		d.SMs = append(d.SMs, sm.New(spec, i, d.L2, d.DRAM, d.Storage, d.Const))
+	}
+	return d
+}
+
+// Alloc reserves device global memory.
+func (d *Device) Alloc(n int) uint64 { return d.Storage.Alloc(n) }
+
+// FreeAll releases all global-memory allocations (between applications).
+func (d *Device) FreeAll() { d.Storage.FreeAll() }
+
+// FlushCaches invalidates every cache on the device — what the profiler does
+// between replay passes so each pass observes cold-start conditions.
+func (d *Device) FlushCaches() {
+	d.L2.Flush()
+	for _, s := range d.SMs {
+		s.FlushCaches()
+	}
+}
+
+// EnableTrace makes every subsequent launch record an intra-kernel timeline:
+// one device-aggregated counter delta per interval cycles. Pass 0 to
+// disable. This is a simulator-side extension (real PMUs would need PM
+// sampling support); the Top-Down analyzer consumes the samples unchanged.
+func (d *Device) EnableTrace(interval uint64) {
+	d.traceInterval = interval
+}
+
+// ResetCounters zeroes every SM's counters.
+func (d *Device) ResetCounters() {
+	for _, s := range d.SMs {
+		s.ResetCounters()
+	}
+}
+
+// Counters returns the device-wide aggregate of all SM counters.
+func (d *Device) Counters() sm.Counters {
+	var total sm.Counters
+	for _, s := range d.SMs {
+		c := s.Counters()
+		total.Add(&c)
+	}
+	return total
+}
+
+// RunResult describes one kernel launch.
+type RunResult struct {
+	Kernel string
+	// Cycles is the launch's duration: the max cycle count over SMs.
+	Cycles uint64
+	// Counters is the device-wide aggregate delta for this launch.
+	Counters sm.Counters
+	// PerSM holds each SM's counter delta (index = SM id), for HWPM-style
+	// collection that observes a subset of SMs.
+	PerSM []sm.Counters
+	// SMsUsed is how many SMs received at least one block.
+	SMsUsed int
+	// Blocks is the grid size.
+	Blocks int
+	// Trace holds per-interval device-aggregated counter deltas when
+	// tracing was enabled (see Device.EnableTrace), oldest first.
+	Trace []sm.Counters
+}
+
+// Seconds converts the launch duration to wall-clock time on the device.
+func (r *RunResult) Seconds(spec *gpu.Spec) float64 {
+	return float64(r.Cycles) / (float64(spec.ClockMHz) * 1e6)
+}
+
+func ctaidOf(linear int, grid kernel.Dim3) [3]int64 {
+	g := grid.Norm()
+	return [3]int64{
+		int64(linear % g.X),
+		int64((linear / g.X) % g.Y),
+		int64(linear / (g.X * g.Y)),
+	}
+}
+
+// Launch executes one kernel to completion and returns its result.
+func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	d.launches++
+
+	// Materialise launch parameters in the constant bank, as the driver
+	// does before a CUDA launch, and invalidate the per-SM constant caches
+	// that may hold stale bank contents.
+	for i, p := range l.Params {
+		d.Const.Write(kernel.ParamOffset(i), p, 8)
+	}
+	for _, s := range d.SMs {
+		s.FlushIMC()
+	}
+
+	// Per-launch local-memory backing, released when the kernel finishes.
+	markMem := d.Storage.Mark()
+	var localBase uint64
+	totalThreads := l.TotalThreads()
+	if l.Program.LocalBytes > 0 {
+		localBase = d.Storage.Alloc(l.Program.LocalBytes * totalThreads)
+	}
+	defer d.Storage.Release(markMem)
+
+	before := make([]sm.Counters, len(d.SMs))
+	for i, s := range d.SMs {
+		if s.Busy() {
+			return nil, fmt.Errorf("sim: SM %d busy at launch of %s", i, l.Program.Name)
+		}
+		s.ResetClock()
+		s.SetLaunchContext(localBase, totalThreads)
+		before[i] = s.Counters()
+		if d.traceInterval > 0 {
+			s.EnableTrace(d.traceInterval)
+		} else {
+			s.DisableTrace()
+		}
+	}
+	d.DRAM.Reset()
+
+	nb := l.NumBlocks()
+	next := 0
+	used := make([]bool, len(d.SMs))
+	var guard uint64
+
+	for {
+		// Greedy block dispatch, round-robin across SMs for balance.
+		progress := true
+		for progress && next < nb {
+			progress = false
+			for i, s := range d.SMs {
+				if next >= nb {
+					break
+				}
+				if s.CanAccept(l) {
+					s.LaunchBlock(l, ctaidOf(next, l.Grid), next)
+					used[i] = true
+					next++
+					progress = true
+				}
+			}
+		}
+
+		busy := false
+		for _, s := range d.SMs {
+			if s.Busy() {
+				s.Tick()
+				busy = true
+			}
+		}
+		if !busy {
+			if next >= nb {
+				break
+			}
+			return nil, fmt.Errorf("sim: kernel %s wedged with %d blocks undispatched", l.Program.Name, nb-next)
+		}
+		guard++
+		if guard > maxLaunchCycles {
+			return nil, fmt.Errorf("sim: kernel %s exceeded %d cycles (non-terminating?)", l.Program.Name, uint64(maxLaunchCycles))
+		}
+	}
+
+	res := &RunResult{Kernel: l.Program.Name, Blocks: nb, PerSM: make([]sm.Counters, len(d.SMs))}
+	for i, s := range d.SMs {
+		if c := s.Cycle(); c > res.Cycles {
+			res.Cycles = c
+		}
+		delta := s.Counters().Sub(&before[i])
+		res.PerSM[i] = delta
+		res.Counters.Add(&delta)
+		if used[i] {
+			res.SMsUsed++
+		}
+	}
+	if d.traceInterval > 0 {
+		// Merge per-SM interval samples index-wise; SM clocks run in
+		// lockstep from zero, so index i covers the same cycle window on
+		// every SM (SMs that finished early just stop contributing).
+		for _, s := range d.SMs {
+			for i, sample := range s.TraceSamples() {
+				for len(res.Trace) <= i {
+					res.Trace = append(res.Trace, sm.Counters{})
+				}
+				res.Trace[i].Add(&sample)
+			}
+		}
+	}
+	return res, nil
+}
+
+// MustLaunch is Launch that panics on error, for tests and examples.
+func (d *Device) MustLaunch(l *kernel.Launch) *RunResult {
+	r, err := d.Launch(l)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

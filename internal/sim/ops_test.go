@@ -1,0 +1,490 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"gputopdown/internal/isa"
+	"gputopdown/internal/kernel"
+)
+
+// runWarp executes a single-warp kernel built by build and returns the 32
+// uint64 values it stored to the out buffer (4 or 8 bytes each).
+func runWarp(t *testing.T, size int, build func(b *kernel.Builder, out isa.Reg)) []uint64 {
+	t.Helper()
+	d := NewDevice(testSpec())
+	out := d.Alloc(32 * size)
+	b := kernel.NewBuilder("op")
+	outReg := b.Param(0)
+	build(b, outReg)
+	l := &kernel.Launch{
+		Program: b.MustBuild(),
+		Grid:    kernel.Dim3{X: 1},
+		Block:   kernel.Dim3{X: 32},
+		Params:  []uint64{out},
+	}
+	d.MustLaunch(l)
+	vals := make([]uint64, 32)
+	for i := range vals {
+		vals[i] = d.Storage.Read(out+uint64(i*size), size)
+	}
+	return vals
+}
+
+// storePerLane emits "out[lane] = v".
+func storePerLane(b *kernel.Builder, out, v isa.Reg, size int) {
+	lane := b.S2R(isa.SRLaneID)
+	b.Stg(b.IMad(lane, b.MovImm(int64(size)), out), v, 0, size)
+}
+
+func TestIntegerOpSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(b *kernel.Builder, lane isa.Reg) isa.Reg
+		want func(lane int64) uint64
+	}{
+		{"IADD", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.IAdd(l, l) },
+			func(l int64) uint64 { return uint64(2 * l) }},
+		{"IADDImm", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.IAddImm(l, -5) },
+			func(l int64) uint64 { return uint64(l - 5) }},
+		{"ISUB", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.ISub(b.IMulImm(l, 3), l) },
+			func(l int64) uint64 { return uint64(2 * l) }},
+		{"IMUL", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.IMul(l, l) },
+			func(l int64) uint64 { return uint64(l * l) }},
+		{"IMAD", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.IMad(l, l, b.MovImm(7)) },
+			func(l int64) uint64 { return uint64(l*l + 7) }},
+		{"ISHL", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.Shl(l, 3) },
+			func(l int64) uint64 { return uint64(l << 3) }},
+		{"ISHRArith", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.Shr(b.IAddImm(l, -16), 1) },
+			func(l int64) uint64 { return uint64((l - 16) >> 1) }},
+		{"IAND", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.AndImm(l, 0x9) },
+			func(l int64) uint64 { return uint64(l & 9) }},
+		{"IOR", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.Or(l, b.MovImm(0x20)) },
+			func(l int64) uint64 { return uint64(l | 0x20) }},
+		{"IXOR", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.XorImm(l, 0x15) },
+			func(l int64) uint64 { return uint64(l ^ 0x15) }},
+		{"IMIN", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.IMin(l, b.MovImm(10)) },
+			func(l int64) uint64 {
+				if l < 10 {
+					return uint64(l)
+				}
+				return 10
+			}},
+		{"IMAX", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.IMax(l, b.MovImm(10)) },
+			func(l int64) uint64 {
+				if l > 10 {
+					return uint64(l)
+				}
+				return 10
+			}},
+		{"POPC", func(b *kernel.Builder, l isa.Reg) isa.Reg { return b.Popc(l) },
+			func(l int64) uint64 {
+				c := 0
+				for v := l; v != 0; v >>= 1 {
+					c += int(v & 1)
+				}
+				return uint64(c)
+			}},
+		{"SEL", func(b *kernel.Builder, l isa.Reg) isa.Reg {
+			p := b.ISetpImm(isa.CmpLT, l, 16)
+			return b.Sel(p, b.MovImm(111), b.MovImm(222))
+		}, func(l int64) uint64 {
+			if l < 16 {
+				return 111
+			}
+			return 222
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got := runWarp(t, 8, func(b *kernel.Builder, out isa.Reg) {
+				lane := b.S2R(isa.SRLaneID)
+				storePerLane(b, out, c.emit(b, lane), 8)
+				b.Exit()
+			})
+			for lane := 0; lane < 32; lane++ {
+				if got[lane] != c.want(int64(lane)) {
+					t.Fatalf("lane %d: got %d, want %d", lane, got[lane], c.want(int64(lane)))
+				}
+			}
+		})
+	}
+}
+
+func TestFloatOpSemantics(t *testing.T) {
+	f32 := func(u uint64) float32 { return math.Float32frombits(uint32(u)) }
+	got := runWarp(t, 4, func(b *kernel.Builder, out isa.Reg) {
+		lane := b.S2R(isa.SRLaneID)
+		x := b.I2F(lane)                         // float(lane)
+		y := b.FFma(x, b.FConst(2), b.FConst(1)) // 2*lane+1
+		z := b.FMul(b.FAdd(y, x), b.FConst(0.5)) // (3*lane+1)/2
+		w := b.FMax(b.FMin(z, b.FConst(20)), b.FConst(2))
+		storePerLane(b, out, w, 4)
+		b.Exit()
+	})
+	for lane := 0; lane < 32; lane++ {
+		want := (3*float32(lane) + 1) / 2
+		if want > 20 {
+			want = 20
+		}
+		if want < 2 {
+			want = 2
+		}
+		if f32(got[lane]) != want {
+			t.Fatalf("lane %d: got %g, want %g", lane, f32(got[lane]), want)
+		}
+	}
+}
+
+func TestF2IRoundtrip(t *testing.T) {
+	got := runWarp(t, 8, func(b *kernel.Builder, out isa.Reg) {
+		lane := b.S2R(isa.SRLaneID)
+		storePerLane(b, out, b.F2I(b.FMul(b.I2F(lane), b.FConst(1.5))), 8)
+		b.Exit()
+	})
+	for lane := 0; lane < 32; lane++ {
+		want := uint64(int64(float32(lane) * 1.5)) // truncating
+		if got[lane] != want {
+			t.Fatalf("lane %d: got %d, want %d", lane, got[lane], want)
+		}
+	}
+}
+
+func TestFP64Semantics(t *testing.T) {
+	f64 := math.Float64frombits
+	got := runWarp(t, 8, func(b *kernel.Builder, out isa.Reg) {
+		x := b.DConst(1.25)
+		y := b.DMul(x, x)              // 1.5625
+		z := b.DFma(y, x, b.DConst(3)) // 1.5625*1.25+3
+		w := b.DAdd(z, b.DConst(-1))
+		storePerLane(b, out, w, 8)
+		b.Exit()
+	})
+	want := 1.5625*1.25 + 3 - 1
+	for lane := 0; lane < 32; lane++ {
+		if f64(got[lane]) != want {
+			t.Fatalf("lane %d: got %g, want %g", lane, f64(got[lane]), want)
+		}
+	}
+}
+
+func TestMufuFunctions(t *testing.T) {
+	funcs := []struct {
+		f    isa.MufuFunc
+		in   float32
+		want float64
+	}{
+		{isa.MufuRCP, 4, 0.25},
+		{isa.MufuRSQ, 16, 0.25},
+		{isa.MufuSQRT, 9, 3},
+		{isa.MufuSIN, 0, 0},
+		{isa.MufuCOS, 0, 1},
+		{isa.MufuLG2, 8, 3},
+		{isa.MufuEX2, 3, 8},
+	}
+	for _, c := range funcs {
+		c := c
+		t.Run(c.f.String(), func(t *testing.T) {
+			got := runWarp(t, 4, func(b *kernel.Builder, out isa.Reg) {
+				v := b.Mufu(c.f, b.FConst(c.in))
+				storePerLane(b, out, v, 4)
+				b.Exit()
+			})
+			res := float64(math.Float32frombits(uint32(got[0])))
+			if math.Abs(res-c.want) > 1e-5 {
+				t.Fatalf("MUFU.%s(%g) = %g, want %g", c.f, c.in, res, c.want)
+			}
+		})
+	}
+}
+
+func TestCompareOperators(t *testing.T) {
+	// For each comparator, store 1 where lane <cmp> 16.
+	want := map[isa.CmpOp]func(l int64) bool{
+		isa.CmpEQ: func(l int64) bool { return l == 16 },
+		isa.CmpNE: func(l int64) bool { return l != 16 },
+		isa.CmpLT: func(l int64) bool { return l < 16 },
+		isa.CmpLE: func(l int64) bool { return l <= 16 },
+		isa.CmpGT: func(l int64) bool { return l > 16 },
+		isa.CmpGE: func(l int64) bool { return l >= 16 },
+	}
+	for cmp, pred := range want {
+		cmp, pred := cmp, pred
+		t.Run(cmp.String(), func(t *testing.T) {
+			got := runWarp(t, 4, func(b *kernel.Builder, out isa.Reg) {
+				lane := b.S2R(isa.SRLaneID)
+				p := b.ISetpImm(cmp, lane, 16)
+				v := b.Sel(p, b.MovImm(1), b.MovImm(0))
+				storePerLane(b, out, v, 4)
+				b.Exit()
+			})
+			for lane := 0; lane < 32; lane++ {
+				want := uint64(0)
+				if pred(int64(lane)) {
+					want = 1
+				}
+				if got[lane] != want {
+					t.Fatalf("%s lane %d: got %d, want %d", cmp, lane, got[lane], want)
+				}
+			}
+		})
+	}
+}
+
+func TestAtomicVariants(t *testing.T) {
+	run := func(op isa.AtomOp, init uint64, emitVal func(b *kernel.Builder) isa.Reg) uint64 {
+		d := NewDevice(testSpec())
+		cell := d.Alloc(8)
+		d.Storage.Write(cell, init, 4)
+		b := kernel.NewBuilder("atomvar")
+		addr := b.Param(0)
+		v := emitVal(b)
+		b.Atom(op, addr, v, 0)
+		b.Exit()
+		l := &kernel.Launch{
+			Program: b.MustBuild(),
+			Grid:    kernel.Dim3{X: 1},
+			Block:   kernel.Dim3{X: 32},
+			Params:  []uint64{cell},
+		}
+		d.MustLaunch(l)
+		return d.Storage.Read(cell, 4)
+	}
+	laneVal := func(b *kernel.Builder) isa.Reg { return b.S2R(isa.SRLaneID) }
+
+	if got := run(isa.AtomAdd, 5, func(b *kernel.Builder) isa.Reg { return b.MovImm(2) }); got != 5+64 {
+		t.Errorf("AtomAdd: %d, want %d", got, 5+64)
+	}
+	if got := run(isa.AtomMax, 7, laneVal); got != 31 {
+		t.Errorf("AtomMax: %d, want 31", got)
+	}
+	if got := run(isa.AtomMin, 7, laneVal); got != 0 {
+		t.Errorf("AtomMin: %d, want 0", got)
+	}
+	if got := run(isa.AtomAnd, 0xFF, func(b *kernel.Builder) isa.Reg { return b.MovImm(0x3C) }); got != 0x3C {
+		t.Errorf("AtomAnd: %#x, want 0x3c", got)
+	}
+	if got := run(isa.AtomOr, 0x1, func(b *kernel.Builder) isa.Reg { return b.MovImm(0x40) }); got != 0x41 {
+		t.Errorf("AtomOr: %#x, want 0x41", got)
+	}
+	if got := run(isa.AtomExch, 9, func(b *kernel.Builder) isa.Reg { return b.MovImm(77) }); got != 77 {
+		t.Errorf("AtomExch: %d, want 77", got)
+	}
+}
+
+func TestAtomCAS(t *testing.T) {
+	d := NewDevice(testSpec())
+	cell := d.Alloc(8)
+	d.Storage.Write(cell, 0, 4)
+	b := kernel.NewBuilder("cas")
+	addr := b.Param(0)
+	lane := b.S2R(isa.SRLaneID)
+	// CAS(cell, expected=0 -> lane+100): exactly lane 0 (first in lane
+	// order) wins.
+	val := b.IAddImm(b.Mov(lane), 100)
+	b.Emit(isa.Instr{
+		Op: isa.OpATOM, Atom: isa.AtomCAS, Dst: b.Reg(),
+		Srcs: [3]isa.Reg{addr, val, b.MovImm(0)}, Size: 4,
+	})
+	b.Exit()
+	l := &kernel.Launch{
+		Program: b.MustBuild(),
+		Grid:    kernel.Dim3{X: 1},
+		Block:   kernel.Dim3{X: 32},
+		Params:  []uint64{cell},
+	}
+	d.MustLaunch(l)
+	if got := d.Storage.Read(cell, 4); got != 100 {
+		t.Errorf("CAS winner value = %d, want 100 (lane 0)", got)
+	}
+}
+
+func TestShuffleButterflyPatterns(t *testing.T) {
+	got := runWarp(t, 8, func(b *kernel.Builder, out isa.Reg) {
+		lane := b.S2R(isa.SRLaneID)
+		v := b.ShflXor(lane, 5)
+		storePerLane(b, out, v, 8)
+		b.Exit()
+	})
+	for lane := 0; lane < 32; lane++ {
+		if got[lane] != uint64(lane^5) {
+			t.Fatalf("lane %d: shfl.xor(5) = %d, want %d", lane, got[lane], lane^5)
+		}
+	}
+}
+
+func TestPredicateNegation(t *testing.T) {
+	got := runWarp(t, 4, func(b *kernel.Builder, out isa.Reg) {
+		lane := b.S2R(isa.SRLaneID)
+		p := b.ISetpImm(isa.CmpLT, lane, 8)
+		v := b.MovImm(0)
+		b.MovToIf(p, true, v, b.MovImm(9)) // lanes >= 8 get 9
+		storePerLane(b, out, v, 4)
+		b.Exit()
+	})
+	for lane := 0; lane < 32; lane++ {
+		want := uint64(0)
+		if lane >= 8 {
+			want = 9
+		}
+		if got[lane] != want {
+			t.Fatalf("lane %d: got %d, want %d", lane, got[lane], want)
+		}
+	}
+}
+
+func TestTexFunctionalRead(t *testing.T) {
+	d := NewDevice(testSpec())
+	img := d.Alloc(128 * 4)
+	out := d.Alloc(32 * 4)
+	host := make([]float32, 128)
+	for i := range host {
+		host[i] = float32(i) * 0.25
+	}
+	d.Storage.WriteF32Slice(img, host)
+	b := kernel.NewBuilder("texread")
+	imgp := b.Param(0)
+	outp := b.Param(1)
+	lane := b.S2R(isa.SRLaneID)
+	v := b.Tex(b.IMad(lane, b.MovImm(4), imgp), 0)
+	storePerLane(b, outp, v, 4)
+	b.Exit()
+	l := &kernel.Launch{
+		Program: b.MustBuild(),
+		Grid:    kernel.Dim3{X: 1},
+		Block:   kernel.Dim3{X: 32},
+		Params:  []uint64{img, out},
+	}
+	res := d.MustLaunch(l)
+	for i := 0; i < 32; i++ {
+		if got := d.Storage.ReadF32(out + uint64(i*4)); got != host[i] {
+			t.Fatalf("tex[%d] = %g, want %g", i, got, host[i])
+		}
+	}
+	if res.Counters.TexFetches == 0 {
+		t.Error("tex fetches not counted")
+	}
+}
+
+func TestWideConstantLoad(t *testing.T) {
+	d := NewDevice(testSpec())
+	d.Const.Write(kernel.ParamSpace, 0xAABBCCDD11223344, 8)
+	out := d.Alloc(32 * 8)
+	b := kernel.NewBuilder("ldc64")
+	outp := b.Param(0)
+	v := b.LdcOff(kernel.ParamSpace, 8)
+	storePerLane(b, outp, v, 8)
+	b.Exit()
+	l := &kernel.Launch{
+		Program: b.MustBuild(),
+		Grid:    kernel.Dim3{X: 1},
+		Block:   kernel.Dim3{X: 32},
+		Params:  []uint64{out},
+	}
+	d.MustLaunch(l)
+	if got := d.Storage.Read(out, 8); got != 0xAABBCCDD11223344 {
+		t.Errorf("64-bit constant load = %#x", got)
+	}
+}
+
+func TestNestedControlFlow(t *testing.T) {
+	// Nested If inside If/Else with a loop: out = classify(lane).
+	got := runWarp(t, 4, func(b *kernel.Builder, out isa.Reg) {
+		lane := b.S2R(isa.SRLaneID)
+		v := b.MovImm(0)
+		pHigh := b.ISetpImm(isa.CmpGE, lane, 16)
+		b.If(pHigh)
+		pOdd := b.ISetpImm(isa.CmpEQ, b.AndImm(lane, 1), 1)
+		b.If(pOdd)
+		b.MovTo(v, b.MovImm(3)) // high odd
+		b.Else()
+		b.MovTo(v, b.MovImm(2)) // high even
+		b.EndIf()
+		b.Else()
+		i := b.ForImm(0, 4, 1)
+		b.MovTo(v, b.IAdd(v, b.IAddImm(i, 1))) // low: 1+2+3+4 = 10
+		b.EndFor()
+		b.EndIf()
+		storePerLane(b, out, v, 4)
+		b.Exit()
+	})
+	for lane := 0; lane < 32; lane++ {
+		var want uint64
+		switch {
+		case lane < 16:
+			want = 10
+		case lane%2 == 1:
+			want = 3
+		default:
+			want = 2
+		}
+		if got[lane] != want {
+			t.Fatalf("lane %d: got %d, want %d", lane, got[lane], want)
+		}
+	}
+}
+
+func TestSpecialRegisters(t *testing.T) {
+	d := NewDevice(testSpec())
+	out := d.Alloc(2 * 3 * 64 * 8 * 8) // generous
+	b := kernel.NewBuilder("specials")
+	outp := b.Param(0)
+	// Flatten: idx = (ctaid.y*nctaid.x + ctaid.x)*blockThreads + linear tid.
+	tidx := b.S2R(isa.SRTidX)
+	tidy := b.S2R(isa.SRTidY)
+	ntidx := b.S2R(isa.SRNTidX)
+	ntidy := b.S2R(isa.SRNTidY)
+	ctax := b.S2R(isa.SRCtaIDX)
+	ctay := b.S2R(isa.SRCtaIDY)
+	nctax := b.S2R(isa.SRNCtaIDX)
+	lin := b.IMad(tidy, ntidx, tidx)
+	bt := b.IMul(ntidx, ntidy)
+	blk := b.IMad(ctay, nctax, ctax)
+	idx := b.IMad(blk, bt, lin)
+	// Pack a checkable value: warpid*1000 + laneid.
+	v := b.IMad(b.S2R(isa.SRWarpID), b.MovImm(1000), b.S2R(isa.SRLaneID))
+	b.Stg(b.IMad(idx, b.MovImm(8), outp), v, 0, 8)
+	b.Exit()
+	l := &kernel.Launch{
+		Program: b.MustBuild(),
+		Grid:    kernel.Dim3{X: 2, Y: 3},
+		Block:   kernel.Dim3{X: 16, Y: 4}, // 64 threads = 2 warps
+		Params:  []uint64{out},
+	}
+	d.MustLaunch(l)
+	for blk := 0; blk < 6; blk++ {
+		for lin := 0; lin < 64; lin++ {
+			got := d.Storage.Read(out+uint64((blk*64+lin)*8), 8)
+			want := uint64(lin/32*1000 + lin%32)
+			if got != want {
+				t.Fatalf("block %d thread %d: got %d, want %d", blk, lin, got, want)
+			}
+		}
+	}
+}
+
+func TestClockSpecialRegisterMonotone(t *testing.T) {
+	d := NewDevice(testSpec())
+	out := d.Alloc(16)
+	b := kernel.NewBuilder("clock")
+	outp := b.Param(0)
+	t0 := b.S2R(isa.SRClockLo)
+	acc := b.FConst(1)
+	for i := 0; i < 10; i++ {
+		acc = b.FMul(acc, acc)
+	}
+	t1 := b.S2R(isa.SRClockLo)
+	lane := b.S2R(isa.SRLaneID)
+	p := b.ISetpImm(isa.CmpEQ, lane, 0)
+	b.StgIf(p, false, outp, b.ISub(t1, t0), 0, 8)
+	b.Exit()
+	d.MustLaunch(&kernel.Launch{
+		Program: b.MustBuild(),
+		Grid:    kernel.Dim3{X: 1}, Block: kernel.Dim3{X: 32},
+		Params: []uint64{out},
+	})
+	if delta := int64(d.Storage.Read(out, 8)); delta <= 0 {
+		t.Errorf("clock delta = %d, want positive", delta)
+	}
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"testing"
+
+	"gputopdown/internal/gpu"
+	"gputopdown/internal/isa"
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/sm"
+)
+
+// Each warp state of the classifier must be reachable by a kernel built to
+// provoke it. This pins down the taxonomy the entire Top-Down attribution
+// rests on: a state that can't be provoked can't be measured.
+func TestEveryStallStateIsProvokable(t *testing.T) {
+	cases := []struct {
+		state sm.WarpState
+		grid  kernel.Dim3
+		block kernel.Dim3
+		build func(b *kernel.Builder)
+	}{
+		{
+			// Two warps, one ALU chain each: while one issues the other is
+			// eligible but not picked.
+			state: sm.StateNotSelected,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 128},
+			build: func(b *kernel.Builder) {
+				v := b.MovImm(1)
+				for i := 0; i < 64; i++ {
+					v = b.IAddImm(v, 1)
+				}
+				b.Exit()
+			},
+		},
+		{
+			// A long program streams through the icache.
+			state: sm.StateNoInstruction,
+			grid:  kernel.Dim3{X: 2}, block: kernel.Dim3{X: 64},
+			build: func(b *kernel.Builder) {
+				v := b.MovImm(0)
+				for i := 0; i < 300; i++ {
+					b.Emit(isa.Instr{Op: isa.OpIADD, Dst: v, Srcs: [3]isa.Reg{v, isa.RZ, isa.RZ}, Imm: 1})
+				}
+				b.Exit()
+			},
+		},
+		{
+			// Unbalanced arrival at a CTA barrier.
+			state: sm.StateBarrier,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 256},
+			build: func(b *kernel.Builder) {
+				tid := b.S2R(isa.SRTidX)
+				p := b.ISetpImm(isa.CmpLT, tid, 32)
+				b.If(p)
+				acc := b.FConst(1)
+				for i := 0; i < 40; i++ {
+					b.MovTo(acc, b.Mufu(isa.MufuSIN, acc))
+				}
+				b.EndIf()
+				b.Bar()
+				b.Exit()
+			},
+		},
+		{
+			// MEMBAR right after a store waits for visibility.
+			state: sm.StateMembar,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 32},
+			build: func(b *kernel.Builder) {
+				out := b.Param(0)
+				b.Stg(out, b.MovImm(1), 0, 4)
+				b.Membar()
+				b.Exit()
+			},
+		},
+		{
+			// A tight loop of back-edges resolves branches constantly.
+			state: sm.StateBranchResolving,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 32},
+			build: func(b *kernel.Builder) {
+				b.ForImm(0, 50, 1)
+				b.EndFor()
+				b.Exit()
+			},
+		},
+		{
+			state: sm.StateSleeping,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 32},
+			build: func(b *kernel.Builder) {
+				b.Nanosleep(100)
+				b.Exit()
+			},
+		},
+		{
+			// Two distinct source registers in the same bank conflict in the
+			// operand collector (misc).
+			state: sm.StateMisc,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 32},
+			build: func(b *kernel.Builder) {
+				// Registers 0 and 4 share a bank (4 banks).
+				a := b.Reg() // R0
+				b.Emit(isa.Instr{Op: isa.OpMOV32, Dst: a, Imm: 3})
+				_, _, _ = b.Reg(), b.Reg(), b.Reg()
+				c := b.Reg() // R4
+				b.Emit(isa.Instr{Op: isa.OpMOV32, Dst: c, Imm: 4})
+				for i := 0; i < 20; i++ {
+					b.IAdd(a, c)
+				}
+				b.Exit()
+			},
+		},
+		{
+			// 64-bit stores take two dispatch cycles.
+			state: sm.StateDispatchStall,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 128},
+			build: func(b *kernel.Builder) {
+				out := b.Param(0)
+				gid := b.GlobalIDX()
+				addr := b.IMad(gid, b.MovImm(8), out)
+				v := b.DConst(1)
+				for i := 0; i < 10; i++ {
+					b.Stg(addr, v, 0, 8)
+				}
+				b.Exit()
+			},
+		},
+		{
+			// FP64 chains from many warps contend for the 1-lane pipe.
+			state: sm.StateMathPipeThrottle,
+			grid:  kernel.Dim3{X: 2}, block: kernel.Dim3{X: 256},
+			build: func(b *kernel.Builder) {
+				x := b.DConst(1.5)
+				for i := 0; i < 8; i++ {
+					x = b.DMul(x, x)
+				}
+				b.Exit()
+			},
+		},
+		{
+			// Immediate use of a cold global load.
+			state: sm.StateLongScoreboard,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 32},
+			build: func(b *kernel.Builder) {
+				in := b.Param(0)
+				v := b.Ldg(in, 0, 4)
+				b.IAddImm(v, 1)
+				b.Exit()
+			},
+		},
+		{
+			// Immediate use of a shared-memory load.
+			state: sm.StateShortScoreboard,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 32},
+			build: func(b *kernel.Builder) {
+				sh := b.DeclShared(256)
+				tid := b.S2R(isa.SRTidX)
+				addr := b.IMad(tid, b.MovImm(4), b.MovImm(sh))
+				b.Sts(addr, tid, 0, 4)
+				v := b.Lds(addr, 0, 4)
+				b.IAddImm(v, 1)
+				b.Exit()
+			},
+		},
+		{
+			// Immediate use of an ALU result (fixed-latency dependency).
+			state: sm.StateWait,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 32},
+			build: func(b *kernel.Builder) {
+				v := b.MovImm(1)
+				for i := 0; i < 30; i++ {
+					v = b.IAddImm(v, 1) // serial dependency chain
+				}
+				b.Exit()
+			},
+		},
+		{
+			// Immediate use of a cold constant load.
+			state: sm.StateIMCMiss,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 32},
+			build: func(b *kernel.Builder) {
+				v := b.LdcOff(kernel.ParamSpace+512, 4)
+				b.IAddImm(v, 1)
+				b.Exit()
+			},
+		},
+		{
+			// Back-to-back shared stores from many warps fill the MIO queue.
+			state: sm.StateMIOThrottle,
+			grid:  kernel.Dim3{X: 2}, block: kernel.Dim3{X: 512},
+			build: func(b *kernel.Builder) {
+				sh := b.DeclShared(4096)
+				tid := b.S2R(isa.SRTidX)
+				addr := b.IMad(b.AndImm(tid, 511), b.MovImm(4), b.MovImm(sh))
+				for i := 0; i < 16; i++ {
+					b.Sts(addr, tid, 0, 4)
+				}
+				b.Exit()
+			},
+		},
+		{
+			// Streams of uncoalesced loads from many warps fill the LG queue.
+			state: sm.StateLGThrottle,
+			grid:  kernel.Dim3{X: 4}, block: kernel.Dim3{X: 256},
+			build: func(b *kernel.Builder) {
+				in := b.Param(0)
+				gid := b.GlobalIDX()
+				addr := b.IMad(b.AndImm(b.IMulImm(gid, 977), (1<<13)-1), b.MovImm(4), in)
+				for i := 0; i < 8; i++ {
+					b.Ldg(addr, int64(i*128), 4)
+				}
+				b.Exit()
+			},
+		},
+		{
+			// Texture fetch streams fill the 4-entry TEX queue.
+			state: sm.StateTEXThrottle,
+			grid:  kernel.Dim3{X: 2}, block: kernel.Dim3{X: 256},
+			build: func(b *kernel.Builder) {
+				in := b.Param(0)
+				gid := b.GlobalIDX()
+				addr := b.IMad(b.AndImm(gid, 1023), b.MovImm(4), in)
+				for i := 0; i < 8; i++ {
+					b.Tex(addr, int64(i*4096))
+				}
+				b.Exit()
+			},
+		},
+		{
+			// EXIT directly after a store drains.
+			state: sm.StateDrain,
+			grid:  kernel.Dim3{X: 1}, block: kernel.Dim3{X: 32},
+			build: func(b *kernel.Builder) {
+				out := b.Param(0)
+				gid := b.GlobalIDX()
+				b.Stg(b.IMad(gid, b.MovImm(128), out), gid, 0, 4)
+				b.Exit()
+			},
+		},
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.state.String(), func(t *testing.T) {
+			d := NewDevice(gpu.QuadroRTX4000().WithSMs(1))
+			buf := d.Alloc(1 << 16)
+			b := kernel.NewBuilder("provoke_" + c.state.String())
+			c.build(b)
+			l := &kernel.Launch{
+				Program: b.MustBuild(),
+				Grid:    c.grid,
+				Block:   c.block,
+				Params:  []uint64{buf},
+			}
+			res := d.MustLaunch(l)
+			if res.Counters.WarpStateCycles[c.state] == 0 {
+				t.Errorf("state %s not provoked; state cycles: %v",
+					c.state, res.Counters.WarpStateCycles)
+			}
+		})
+	}
+}
+
+// TestSelectedStateAlwaysPresent: any kernel that executes instructions
+// spends cycles in the selected state.
+func TestSelectedStateAlwaysPresent(t *testing.T) {
+	d := NewDevice(gpu.QuadroRTX4000().WithSMs(1))
+	b := kernel.NewBuilder("sel")
+	b.MovImm(1)
+	b.Exit()
+	res := d.MustLaunch(&kernel.Launch{Program: b.MustBuild(), Grid: kernel.Dim3{X: 1}, Block: kernel.Dim3{X: 32}})
+	if res.Counters.WarpStateCycles[sm.StateSelected] == 0 {
+		t.Error("no selected cycles")
+	}
+}

@@ -1,0 +1,492 @@
+package sm
+
+import (
+	"fmt"
+
+	"gputopdown/internal/gpu"
+	"gputopdown/internal/isa"
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/mem"
+)
+
+// subpart is one SM subpartition: a warp scheduler, a dispatch unit, one
+// instance of each execution pipe and the memory instruction queues.
+type subpart struct {
+	warps        []*warp // fixed slots, nil = free
+	pipeFree     [isa.NumPipes]uint64
+	dispatchFree uint64
+	lgQueue      *mem.TimedQueue
+	mioQueue     *mem.TimedQueue
+	texQueue     *mem.TimedQueue
+	lastIssued   int // slot of the most recently issued warp (GTO/LRR)
+}
+
+func (sp *subpart) resident() int {
+	n := 0
+	for _, w := range sp.warps {
+		if w != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (sp *subpart) freeSlots() int { return len(sp.warps) - sp.resident() }
+
+// SM is one Streaming Multiprocessor.
+type SM struct {
+	spec      *gpu.Spec
+	id        int
+	dp        *mem.DataPath
+	icache    *mem.Cache
+	storage   *mem.Storage
+	constBank *mem.ConstantBank
+	subparts  []*subpart
+	blocks    []*blockCtx
+
+	cycle     uint64
+	fetchBusy uint64
+	launchSeq uint64
+
+	// Launch-wide context for local-memory addressing, set by the device.
+	localBase    uint64
+	totalThreads int
+
+	// Per-tick scratch buffers (no allocation in the cycle loop).
+	stateScratch [64]WarpState
+	candScratch  []int
+
+	// Tracing: when traceInterval > 0 the SM snapshots a counter delta
+	// every traceInterval cycles, giving an intra-kernel timeline.
+	traceInterval uint64
+	traceBase     Counters
+	traceSamples  []Counters
+
+	// Occupancy accounting.
+	residentBlocks  int
+	residentThreads int
+	residentWarps   int
+	residentRegs    int
+	residentShared  int
+
+	ctr Counters
+}
+
+// New builds an SM around the device-shared L2, DRAM, global storage and
+// constant bank.
+func New(spec *gpu.Spec, id int, l2 *mem.Cache, dram *mem.DRAM, storage *mem.Storage, constBank *mem.ConstantBank) *SM {
+	s := &SM{
+		spec:      spec,
+		id:        id,
+		dp:        mem.NewDataPath(spec, id, l2, dram),
+		icache:    mem.NewCache("L1I", spec.ICacheSize, spec.ICacheWays, spec.LineSize, spec.LineSize),
+		storage:   storage,
+		constBank: constBank,
+	}
+	for i := 0; i < spec.SubpartitionsPerSM; i++ {
+		s.subparts = append(s.subparts, &subpart{
+			warps:    make([]*warp, spec.WarpSlotsPerSubpartition),
+			lgQueue:  mem.NewTimedQueue(spec.LGQueueDepth),
+			mioQueue: mem.NewTimedQueue(spec.MIOQueueDepth),
+			texQueue: mem.NewTimedQueue(spec.TEXQueueDepth),
+		})
+	}
+	return s
+}
+
+// SetLaunchContext installs the per-launch local-memory base and total
+// thread count used for local address interleaving.
+func (s *SM) SetLaunchContext(localBase uint64, totalThreads int) {
+	s.localBase = localBase
+	s.totalThreads = totalThreads
+}
+
+// Busy reports whether any warp is resident.
+func (s *SM) Busy() bool { return s.residentWarps > 0 }
+
+// Cycle returns the SM's current cycle.
+func (s *SM) Cycle() uint64 { return s.cycle }
+
+// CanAccept reports whether a block of the launch fits in the SM's free
+// resources right now.
+func (s *SM) CanAccept(l *kernel.Launch) bool {
+	bt := l.BlockThreads()
+	wpb := l.WarpsPerBlock()
+	if s.residentBlocks+1 > s.spec.MaxBlocksPerSM {
+		return false
+	}
+	if s.residentThreads+bt > s.spec.MaxThreadsPerSM {
+		return false
+	}
+	if s.residentRegs+l.Program.NumRegs*bt > s.spec.RegistersPerSM {
+		return false
+	}
+	if s.residentShared+l.SharedBytes() > s.spec.SharedMemPerSM {
+		return false
+	}
+	// Warps are dealt to subpartitions round-robin starting at 0; each must
+	// have room for its share.
+	n := len(s.subparts)
+	for k, sp := range s.subparts {
+		need := (wpb - k + n - 1) / n
+		if need > sp.freeSlots() {
+			return false
+		}
+	}
+	return true
+}
+
+// LaunchBlock makes a block resident. Callers must check CanAccept first.
+func (s *SM) LaunchBlock(l *kernel.Launch, ctaid [3]int64, blockLinear int) {
+	bt := l.BlockThreads()
+	wpb := l.WarpsPerBlock()
+	blk := &blockCtx{
+		ctaid:       ctaid,
+		blockLinear: blockLinear,
+		launch:      l,
+		shared:      make([]byte, l.SharedBytes()),
+		liveWarps:   wpb,
+		remaining:   wpb,
+	}
+	for wi := 0; wi < wpb; wi++ {
+		members := uint32(0xFFFFFFFF)
+		if rem := bt - wi*kernel.WarpSize; rem < kernel.WarpSize {
+			members = (1 << rem) - 1
+		}
+		spIdx := wi % len(s.subparts)
+		sp := s.subparts[spIdx]
+		slot := -1
+		for j, ws := range sp.warps {
+			if ws == nil {
+				slot = j
+				break
+			}
+		}
+		if slot < 0 {
+			panic(fmt.Sprintf("sm %d: no free warp slot in subpartition %d (CanAccept not honoured)", s.id, spIdx))
+		}
+		s.launchSeq++
+		w := newWarp(spIdx*len(sp.warps)+slot, spIdx, wi, blk, members, l.Program.NumRegs, s.launchSeq)
+		sp.warps[slot] = w
+		blk.warps = append(blk.warps, w)
+	}
+	s.blocks = append(s.blocks, blk)
+	s.residentBlocks++
+	s.residentThreads += bt
+	s.residentWarps += wpb
+	s.residentRegs += l.Program.NumRegs * bt
+	s.residentShared += l.SharedBytes()
+	s.ctr.BlocksLaunched++
+	s.ctr.WarpsLaunched += uint64(wpb)
+}
+
+// checkBarrier releases a block's barrier when every live warp has arrived.
+func (s *SM) checkBarrier(b *blockCtx) {
+	if b.arrived == 0 || b.arrived < b.liveWarps {
+		return
+	}
+	for _, w := range b.warps {
+		w.atBarrier = false
+	}
+	b.arrived = 0
+}
+
+// ensureFetched models the instruction supply: one line-fetch per SM per
+// cycle through the L1 instruction cache. It returns true when the warp's
+// next instruction is available in its instruction buffer.
+func (s *SM) ensureFetched(w *warp, pc int, now uint64) bool {
+	lineSize := uint64(s.spec.LineSize)
+	line := uint64(pc*s.spec.InstrBytes) / lineSize
+	if w.fetchedLine == line+1 {
+		return now >= w.ifetchReady
+	}
+	if s.fetchBusy > now {
+		return false // fetch port busy this cycle
+	}
+	s.fetchBusy = now + uint64(s.spec.FetchCyclesPerLine)
+	w.fetchedLine = line + 1
+	if s.icache.Access(line * lineSize) {
+		s.ctr.ICacheHits++
+		w.ifetchReady = now + uint64(s.spec.DecodeDelay)
+	} else {
+		s.ctr.ICacheMisses++
+		w.ifetchReady = now + uint64(s.spec.L2Latency)/2 + uint64(s.spec.DecodeDelay)
+	}
+	return false
+}
+
+// classify determines the warp's state this cycle. eligible is true only
+// when the warp could issue right now.
+func (s *SM) classify(sp *subpart, w *warp, now uint64) (state WarpState, eligible bool) {
+	// Fast path: still inside a known scoreboard-stall window.
+	if now < w.stallUntil {
+		return w.stallState, false
+	}
+	w.syncStack()
+	if w.finished {
+		if w.block.liveWarps > 0 && !w.deadCounted() {
+			w.markDead()
+			w.block.liveWarps--
+			s.checkBarrier(w.block)
+		}
+		return StateDrain, false
+	}
+	if w.atBarrier {
+		return StateBarrier, false
+	}
+	if w.membarPending {
+		if w.drainStores(now) > 0 || now < w.fenceUntil {
+			return StateMembar, false
+		}
+		w.membarPending = false
+	}
+	if now < w.nextEligible {
+		return w.eligibleReason, false
+	}
+	pc := w.top().pc
+	if pc >= w.block.launch.Program.Len() {
+		panic(fmt.Sprintf("sm %d: warp %d ran past program end (kernel %s)", s.id, w.id, w.block.launch.Program.Name))
+	}
+	if !s.ensureFetched(w, pc, now) {
+		return StateNoInstruction, false
+	}
+	in := &w.block.launch.Program.Instrs[pc]
+	if ready, kind := w.scoreboardBlock(in); ready > now {
+		st := kind.stallState()
+		w.stallUntil = ready
+		w.stallState = st
+		return st, false
+	}
+	if now < sp.dispatchFree {
+		return StateDispatchStall, false
+	}
+	info := in.Op.Info()
+	if sp.pipeFree[info.Pipe] > now {
+		switch info.Pipe {
+		case isa.PipeLSU:
+			return StateLGThrottle, false
+		case isa.PipeMIO:
+			return StateMIOThrottle, false
+		case isa.PipeTEX:
+			return StateTEXThrottle, false
+		default:
+			return StateMathPipeThrottle, false
+		}
+	}
+	switch info.Pipe {
+	case isa.PipeLSU:
+		if in.Op != isa.OpLDC && sp.lgQueue.Full(now) {
+			return StateLGThrottle, false
+		}
+	case isa.PipeMIO:
+		if sp.mioQueue.Full(now) {
+			return StateMIOThrottle, false
+		}
+	case isa.PipeTEX:
+		if sp.texQueue.Full(now) {
+			return StateTEXThrottle, false
+		}
+	}
+	return StateSelected, true
+}
+
+// pick selects one eligible warp per the spec's scheduling policy.
+// candidates holds slot indices; returns -1 when empty.
+func (s *SM) pick(sp *subpart, candidates []int) int {
+	if len(candidates) == 0 {
+		return -1
+	}
+	if s.spec.SchedulingPolicy == "lrr" {
+		// First eligible slot after the last issued one.
+		n := len(sp.warps)
+		for off := 1; off <= n; off++ {
+			slot := (sp.lastIssued + off) % n
+			for _, c := range candidates {
+				if c == slot {
+					return slot
+				}
+			}
+		}
+		return candidates[0]
+	}
+	// Greedy-then-oldest: keep issuing the same warp while possible,
+	// otherwise the oldest (smallest launch sequence).
+	for _, c := range candidates {
+		if c == sp.lastIssued && sp.warps[c] != nil {
+			return c
+		}
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if sp.warps[c].launchSeq < sp.warps[best].launchSeq {
+			best = c
+		}
+	}
+	return best
+}
+
+// Tick advances the SM one cycle.
+func (s *SM) Tick() {
+	now := s.cycle
+	s.ctr.ElapsedCycles++
+	activeWarps := 0
+
+	for _, sp := range s.subparts {
+		candidates := s.candScratch[:0]
+		states := &s.stateScratch
+		for slot, w := range sp.warps {
+			if w == nil {
+				continue
+			}
+			activeWarps++
+			st, eligible := s.classify(sp, w, now)
+			states[slot] = st
+			if eligible {
+				candidates = append(candidates, slot)
+			}
+		}
+		winner := s.pick(sp, candidates)
+		for slot, w := range sp.warps {
+			if w == nil {
+				continue
+			}
+			if slot == winner {
+				s.ctr.WarpStateCycles[StateSelected]++
+				continue
+			}
+			st := states[slot]
+			if st == StateSelected {
+				st = StateNotSelected // eligible but not picked
+			}
+			s.ctr.WarpStateCycles[st]++
+		}
+		if winner >= 0 {
+			s.issue(sp, sp.warps[winner], now)
+			sp.lastIssued = winner
+		}
+		s.candScratch = candidates[:0]
+		if sp.resident() > 0 {
+			s.ctr.SubpActiveCycles++
+		}
+	}
+
+	s.ctr.ActiveWarpCycles += uint64(activeWarps)
+	if activeWarps > 0 {
+		s.ctr.ActiveCycles++
+	}
+
+	s.reapFinished(now)
+	s.cycle++
+	if s.traceInterval > 0 && s.cycle%s.traceInterval == 0 {
+		cur := s.Counters()
+		s.traceSamples = append(s.traceSamples, cur.Sub(&s.traceBase))
+		s.traceBase = cur
+	}
+}
+
+// reapFinished frees warps whose threads have all exited and whose stores
+// have drained, and retires completed blocks.
+func (s *SM) reapFinished(now uint64) {
+	for _, sp := range s.subparts {
+		for slot, w := range sp.warps {
+			if w == nil || !w.finished {
+				continue
+			}
+			if w.drainStores(now) > 0 {
+				continue
+			}
+			sp.warps[slot] = nil
+			s.residentWarps--
+			s.residentThreads -= int(popcount(w.members))
+			s.residentRegs -= len(w.regs) * int(popcount(w.members))
+			w.block.remaining--
+			if w.block.remaining == 0 {
+				s.retireBlock(w.block)
+			}
+		}
+	}
+}
+
+func (s *SM) retireBlock(b *blockCtx) {
+	for i, blk := range s.blocks {
+		if blk == b {
+			s.blocks = append(s.blocks[:i], s.blocks[i+1:]...)
+			break
+		}
+	}
+	s.residentBlocks--
+	s.residentShared -= b.launch.SharedBytes()
+}
+
+// Counters returns the SM's counters including the memory-path statistics.
+func (s *SM) Counters() Counters {
+	c := s.ctr
+	st := s.dp.Stats()
+	c.GlobalLoads = st.GlobalLoads
+	c.GlobalStores = st.GlobalStores
+	c.LoadSectors = st.LoadSectors
+	c.StoreSectors = st.StoreSectors
+	c.L1Hits = st.L1Hits
+	c.L1Misses = st.L1Misses
+	c.L2Hits = st.L2Hits
+	c.L2Misses = st.L2Misses
+	c.ConstLoads = st.ConstLoads
+	c.IMCHits = st.IMCHits
+	c.IMCMisses = st.IMCMisses
+	c.TexFetches = st.TexFetches
+	c.Atomics = st.Atomics
+	return c
+}
+
+// ResetCounters zeroes all statistics (between profiler passes).
+func (s *SM) ResetCounters() {
+	s.ctr = Counters{}
+	s.dp.ResetStats()
+}
+
+// FlushCaches invalidates the SM-private caches (between profiler passes).
+func (s *SM) FlushCaches() {
+	s.dp.Flush()
+	s.icache.Flush()
+}
+
+// FlushIMC invalidates the immediate-constant cache, done at every kernel
+// launch since constant-bank contents change with it.
+func (s *SM) FlushIMC() { s.dp.FlushIMC() }
+
+// EnableTrace starts per-interval counter snapshots (an intra-kernel
+// timeline). interval is in cycles; 0 disables. Existing samples are
+// discarded and the delta base is re-anchored at the current counters.
+func (s *SM) EnableTrace(interval uint64) {
+	s.traceInterval = interval
+	s.traceSamples = nil
+	s.traceBase = s.Counters()
+}
+
+// DisableTrace stops tracing and clears samples.
+func (s *SM) DisableTrace() {
+	s.traceInterval = 0
+	s.traceSamples = nil
+}
+
+// TraceSamples returns the per-interval counter deltas recorded since
+// EnableTrace, oldest first.
+func (s *SM) TraceSamples() []Counters { return s.traceSamples }
+
+// ResetClock rewinds the SM's cycle counter and pipeline bookkeeping to zero
+// between kernel launches. Only legal when idle.
+func (s *SM) ResetClock() {
+	if s.Busy() {
+		panic(fmt.Sprintf("sm %d: ResetClock while busy", s.id))
+	}
+	s.cycle = 0
+	s.fetchBusy = 0
+	for _, sp := range s.subparts {
+		sp.pipeFree = [isa.NumPipes]uint64{}
+		sp.dispatchFree = 0
+		sp.lgQueue.Reset()
+		sp.mioQueue.Reset()
+		sp.texQueue.Reset()
+		sp.lastIssued = 0
+	}
+}

@@ -1,0 +1,279 @@
+package sm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"gputopdown/internal/isa"
+	"gputopdown/internal/kernel"
+)
+
+// depKind classifies the producer of a pending register value, so that a
+// consumer stalled on it can be attributed to the right scoreboard state.
+type depKind uint8
+
+const (
+	depNone  depKind = iota
+	depFixed         // ALU/FMA/FP64/SFU result (fixed latency) -> stalled_wait
+	depLong          // L1TEX load (global/local/texture)       -> long_scoreboard
+	depShort         // MIO operation (shared, shuffle)         -> short_scoreboard
+	depIMC           // immediate-constant miss                 -> imc_miss
+)
+
+func (k depKind) stallState() WarpState {
+	switch k {
+	case depLong:
+		return StateLongScoreboard
+	case depShort:
+		return StateShortScoreboard
+	case depIMC:
+		return StateIMCMiss
+	default:
+		return StateWait
+	}
+}
+
+// stackEntry is one level of the SIMT reconvergence stack: execute from pc
+// with mask until pc reaches rpc (the immediate post-dominator), then pop.
+// The bottom entry has rpc == -1 and never pops.
+type stackEntry struct {
+	pc   int
+	rpc  int
+	mask uint32
+}
+
+// warp is one resident warp context.
+type warp struct {
+	id          int // slot index within the SM (debugging)
+	subp        int
+	block       *blockCtx
+	warpInBlock int
+	launchSeq   uint64 // global age for greedy-then-oldest scheduling
+
+	members uint32 // lanes backed by real threads (last warp may be partial)
+	exited  uint32
+	stack   []stackEntry
+
+	regs  [][32]uint64 // [reg][lane]
+	preds [8]uint32    // index 0 is PT (unused; PT handled specially)
+
+	regReady  []uint64
+	regDep    []depKind
+	predReady [8]uint64
+
+	// nextEligible delays issue until the given cycle, classified as
+	// eligibleReason while waiting (branch resolving, sleeping, misc).
+	nextEligible   uint64
+	eligibleReason WarpState
+
+	// stallCache short-circuits reclassification while the warp is blocked
+	// on a scoreboard dependency whose release cycle is already known:
+	// nothing about the warp can change until then, because it cannot
+	// issue. stallUntil is the expiry; stallState the cached answer.
+	stallUntil uint64
+	stallState WarpState
+
+	atBarrier     bool
+	membarPending bool
+
+	// storesPending holds posted-completion cycles of outstanding stores
+	// (post-EXIT drain); fenceUntil is the memory-order visibility horizon
+	// MEMBAR waits on.
+	storesPending []uint64
+	fenceUntil    uint64
+
+	// Instruction supply: fetchedLine is 1+line index currently in the
+	// warp's instruction buffer (0 = nothing fetched yet).
+	fetchedLine uint64
+	ifetchReady uint64
+
+	finished bool
+	dead     bool // finished already accounted against block.liveWarps
+}
+
+// deadCounted reports whether the warp's death was already accounted.
+func (w *warp) deadCounted() bool { return w.dead }
+
+// markDead records that the warp's death has been accounted.
+func (w *warp) markDead() { w.dead = true }
+
+func newWarp(id, subp, warpInBlock int, blk *blockCtx, members uint32, numRegs int, seq uint64) *warp {
+	return &warp{
+		id:          id,
+		subp:        subp,
+		block:       blk,
+		warpInBlock: warpInBlock,
+		launchSeq:   seq,
+		members:     members,
+		stack:       []stackEntry{{pc: 0, rpc: -1, mask: members}},
+		regs:        make([][32]uint64, numRegs),
+		regReady:    make([]uint64, numRegs),
+		regDep:      make([]depKind, numRegs),
+	}
+}
+
+// top returns the active stack entry. Callers must ensure the stack is
+// non-empty (it always is until the warp finishes).
+func (w *warp) top() *stackEntry { return &w.stack[len(w.stack)-1] }
+
+// activeMask is the set of lanes executing at the current stack top.
+func (w *warp) activeMask() uint32 { return w.top().mask &^ w.exited }
+
+// syncStack pops completed regions: entries whose pc reached their
+// reconvergence point and entries with no live lanes left. It sets finished
+// when every member lane has exited.
+func (w *warp) syncStack() {
+	for {
+		if w.members&^w.exited == 0 {
+			w.finished = true
+			return
+		}
+		top := w.top()
+		if top.mask&^w.exited == 0 && len(w.stack) > 1 {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		if top.rpc >= 0 && top.pc == top.rpc {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return
+	}
+}
+
+// predMask evaluates a guard predicate over all lanes.
+func (w *warp) predMask(p isa.PredReg, neg bool) uint32 {
+	var m uint32
+	if p == isa.PT {
+		m = 0xFFFFFFFF
+	} else {
+		m = w.preds[p]
+	}
+	if neg {
+		m = ^m
+	}
+	return m
+}
+
+// setPred assigns predicate p in the given lanes to the bits of value.
+func (w *warp) setPred(p isa.PredReg, lanes uint32, value uint32) {
+	if p == isa.PT {
+		return
+	}
+	w.preds[p] = (w.preds[p] &^ lanes) | (value & lanes)
+}
+
+// setRegReady records the completion time and producer class of a register.
+func (w *warp) setRegReady(r isa.Reg, ready uint64, kind depKind) {
+	if r == isa.RZ {
+		return
+	}
+	w.regReady[r] = ready
+	w.regDep[r] = kind
+}
+
+// scoreboardBlock returns the latest-ready operand among the instruction's
+// sources, destination (WAW) and guard predicate, with its dependency class.
+func (w *warp) scoreboardBlock(in *isa.Instr) (uint64, depKind) {
+	var ready uint64
+	kind := depNone
+	consider := func(r isa.Reg) {
+		if r == isa.RZ || int(r) >= len(w.regReady) {
+			return
+		}
+		if w.regReady[r] > ready {
+			ready = w.regReady[r]
+			kind = w.regDep[r]
+		}
+	}
+	info := in.Op.Info()
+	for i := 0; i < info.NumSrcs; i++ {
+		consider(in.Srcs[i])
+	}
+	if info.WritesDst {
+		consider(in.Dst)
+	}
+	if in.Pred != isa.PT && w.predReady[in.Pred] > ready {
+		ready = w.predReady[in.Pred]
+		kind = depFixed
+	}
+	// SEL and VOTE read the predicate in PDst.
+	if (in.Op == isa.OpSEL || in.Op == isa.OpVOTE) && in.PDst != isa.PT && w.predReady[in.PDst] > ready {
+		ready = w.predReady[in.PDst]
+		kind = depFixed
+	}
+	return ready, kind
+}
+
+// drainStores drops completed stores and returns the number still pending.
+func (w *warp) drainStores(now uint64) int {
+	i := 0
+	for _, d := range w.storesPending {
+		if d > now {
+			w.storesPending[i] = d
+			i++
+		}
+	}
+	w.storesPending = w.storesPending[:i]
+	return i
+}
+
+// lastStoreDone returns the latest completion among pending stores.
+func (w *warp) lastStoreDone() uint64 {
+	var m uint64
+	for _, d := range w.storesPending {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func popcount(m uint32) uint64 { return uint64(bits.OnesCount32(m)) }
+
+// blockCtx is one resident thread block (CTA): geometry, shared memory and
+// barrier bookkeeping.
+type blockCtx struct {
+	ctaid       [3]int64
+	blockLinear int
+	launch      *kernel.Launch
+	shared      []byte
+	liveWarps   int
+	remaining   int // warps not yet fully drained
+	arrived     int // warps waiting at the current barrier
+	warps       []*warp
+}
+
+func (b *blockCtx) sharedRead(addr uint64, size int) uint64 {
+	if int(addr)+size > len(b.shared) {
+		panic(fmt.Sprintf("sm: shared read of %d bytes at 0x%x outside %d-byte block allocation (kernel %s)",
+			size, addr, len(b.shared), b.launch.Program.Name))
+	}
+	if size == 8 {
+		return binary.LittleEndian.Uint64(b.shared[addr:])
+	}
+	return uint64(binary.LittleEndian.Uint32(b.shared[addr:]))
+}
+
+func (b *blockCtx) sharedWrite(addr uint64, v uint64, size int) {
+	if int(addr)+size > len(b.shared) {
+		panic(fmt.Sprintf("sm: shared write of %d bytes at 0x%x outside %d-byte block allocation (kernel %s)",
+			size, addr, len(b.shared), b.launch.Program.Name))
+	}
+	if size == 8 {
+		binary.LittleEndian.PutUint64(b.shared[addr:], v)
+		return
+	}
+	binary.LittleEndian.PutUint32(b.shared[addr:], uint32(v))
+}
+
+// threadID returns the (x,y,z) thread index of a lane of a warp.
+func (b *blockCtx) threadID(warpInBlock, lane int) (int64, int64, int64) {
+	lin := int64(warpInBlock*kernel.WarpSize + lane)
+	bd := b.launch.Block.Norm()
+	x := lin % int64(bd.X)
+	y := (lin / int64(bd.X)) % int64(bd.Y)
+	z := lin / int64(bd.X*bd.Y)
+	return x, y, z
+}

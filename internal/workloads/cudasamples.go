@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gputopdown/internal/isa"
+	"gputopdown/internal/kernel"
+)
+
+// CUDASamples returns the CUDA Toolkit sample reconstructions used in the
+// paper's §V.A: binaryPartitionCG at every tile size the paper sweeps.
+func CUDASamples() []*App {
+	var apps []*App
+	for _, t := range BinaryPartitionTileSizes {
+		apps = append(apps, BinaryPartitionCG(t))
+	}
+	return apps
+}
+
+// BinaryPartitionTileSizes is the paper's Fig. 4 sweep: thread-block tiles
+// from warp size down to four threads.
+var BinaryPartitionTileSizes = []int{32, 16, 8, 4}
+
+// binaryPartitionKernel: params (in, oddCount, evenCount, sums, n).
+//
+// Mirrors the CUDA sample: each thread loads a value from a random array and
+// the tile is binary-partitioned by the odd/even predicate. Both partitions
+// reduce their values (tile-width shuffles) and tile leaders update global
+// counters and sums atomically. Shrinking the tile trades divergence for
+// synchronisation and atomic traffic: exactly the shift from Divergence to
+// Backend/Memory the paper's Fig. 4 shows.
+func binaryPartitionKernel(tile int) *kernel.Program {
+	if tile < 2 || tile > 32 || tile&(tile-1) != 0 {
+		panic(fmt.Sprintf("workloads: invalid cooperative tile size %d", tile))
+	}
+	b := kernel.NewBuilder(fmt.Sprintf("oddEvenCountAndSumCG_tile%d", tile))
+	in := b.Param(0)
+	oddCount := b.Param(1)
+	evenCount := b.Param(2)
+	sums := b.Param(3)
+	n := b.Param(4)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	lane := b.S2R(isa.SRLaneID)
+	laneInTile := b.AndImm(lane, int64(tile-1))
+	v := b.Ldg(b.IMad(gid, b.MovImm(4), in), 0, 4)
+	odd := b.AndImm(v, 1)
+	isOdd := b.ISetpImm(isa.CmpEQ, odd, 1)
+
+	// Binary partition: each side counts its members within the tile via
+	// ballot+mask, then reduces its values with tile-width shuffles. The
+	// divergent region does the partition-specific work.
+	ballot := b.Ballot(isOdd)
+	tmask0 := b.ShlReg(b.MovImm(int64((1<<tile)-1)), b.And(lane, b.MovImm(int64(^(tile-1)&31))))
+	oddInTile := b.Popc(b.And(ballot, tmask0))
+
+	// Each side owns a zero-masked accumulator so the in-partition butterfly
+	// reduces only its members' contributions.
+	zero := b.MovImm(0)
+	oddVal := b.Sel(isOdd, b.IMulImm(v, 3), zero)
+	evenVal := b.Sel(isOdd, zero, b.IAddImm(b.ShlReg(v, b.MovImm(1)), 7))
+
+	// The partition-specific reductions run inside the divergent region, as
+	// the cooperative-groups sample's binary_partition + reduce does:
+	// log2(tile) shuffle steps per side, so the divergent work shrinks as
+	// the tile does.
+	b.If(isOdd)
+	for delta := tile / 2; delta >= 1; delta /= 2 {
+		o := b.ShflXor(oddVal, int64(delta))
+		b.MovTo(oddVal, b.IAdd(oddVal, o))
+	}
+	b.Else()
+	for delta := tile / 2; delta >= 1; delta /= 2 {
+		o := b.ShflXor(evenVal, int64(delta))
+		b.MovTo(evenVal, b.IAdd(evenVal, o))
+	}
+	b.EndIf()
+
+	// Converged tile-wide butterfly combines both sides' partials. (The
+	// counts published below are exact via the ballot; the sum is the
+	// shuffle-reduce approximation a warp-collective reduce produces when
+	// partitions interleave — this is a characterisation microbenchmark.)
+	total := b.IAdd(oddVal, evenVal)
+	for delta := tile / 2; delta >= 1; delta /= 2 {
+		o := b.ShflXor(total, int64(delta))
+		b.MovTo(total, b.IAdd(total, o))
+	}
+
+	// Tile leaders publish counts and sum; smaller tiles mean more leaders
+	// hammering the same three counters.
+	leader := b.ISetpImm(isa.CmpEQ, laneInTile, 0)
+	b.If(leader)
+	evenInTile := b.ISub(b.MovImm(int64(tile)), oddInTile)
+	b.Red(isa.AtomAdd, oddCount, oddInTile, 0)
+	b.Red(isa.AtomAdd, evenCount, evenInTile, 0)
+	b.Red(isa.AtomAdd, sums, total, 0)
+	b.EndIf()
+	b.Exit()
+	return b.MustBuild()
+}
+
+// BinaryPartitionCG builds the binaryPartitionCG sample with the given
+// cooperative-group tile size.
+func BinaryPartitionCG(tile int) *App {
+	return &App{
+		Name:  fmt.Sprintf("binaryPartitionCG_tile%d", tile),
+		Suite: "cudasamples",
+		Description: "binary-partition cooperative groups sample: odd/even " +
+			"partition, tile reduce and global counters",
+		Run: func(ctx *RunCtx) error {
+			const n = 96 * 1024
+			in := ctx.Dev.Alloc(n * 4)
+			oddCount := ctx.Dev.Alloc(4)
+			evenCount := ctx.Dev.Alloc(4)
+			sums := ctx.Dev.Alloc(4)
+			randIdx(ctx, in, n, 1<<20)
+			for _, a := range []uint64{oddCount, evenCount, sums} {
+				ctx.Dev.Storage.Write(a, 0, 4)
+			}
+			prog := binaryPartitionKernel(tile)
+			l := launch1D(prog, n, 256, in, oddCount, evenCount, sums, n)
+			for rep := 0; rep < 2; rep++ {
+				if err := ctx.Exec(l); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}

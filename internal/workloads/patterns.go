@@ -1,0 +1,513 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gputopdown/internal/isa"
+	"gputopdown/internal/kernel"
+)
+
+// This file is the kernel-pattern library: parameterised builders for the
+// microarchitectural behaviours the suites are composed of. Each returns a
+// finished Program; the comment above each builder documents its launch
+// parameters in order.
+
+// streamProgram: params (in, out, n).
+// out[i] = chain of `flops` FMAs over in[i]. Coalesced, bandwidth-bound for
+// small flops, compute-bound for large.
+func streamProgram(name string, flops int) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	in := b.Param(0)
+	out := b.Param(1)
+	n := b.Param(2)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	off := b.Shl(gid, 2)
+	x := b.Ldg(b.IAdd(in, off), 0, 4)
+	c := b.FConst(1.0009765625)
+	acc := b.Mov(x)
+	for i := 0; i < flops; i++ {
+		nv := b.FFma(acc, c, x)
+		b.MovTo(acc, nv)
+	}
+	b.Stg(b.IAdd(out, off), acc, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// stridedProgram: params (in, out, n). Loads with a strideBytes stride so a
+// warp touches one sector per lane — replay- and sector-heavy.
+func stridedProgram(name string, strideBytes int64) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	in := b.Param(0)
+	out := b.Param(1)
+	n := b.Param(2)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	saddr := b.IMad(gid, b.MovImm(strideBytes), in)
+	v := b.Ldg(saddr, 0, 4)
+	v2 := b.FFma(v, b.FConst(0.5), v)
+	b.Stg(b.IMad(gid, b.MovImm(4), out), v2, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// gatherProgram: params (idx, data, out, n). out[i] = sum_k data[idx[i*K+k]]
+// — the irregular-access core of graph workloads.
+func gatherProgram(name string, k int, flopsPer int) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	idx := b.Param(0)
+	data := b.Param(1)
+	out := b.Param(2)
+	n := b.Param(3)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	base := b.IMad(gid, b.MovImm(int64(k)*4), idx)
+	acc := b.FConst(0)
+	i := b.ForImm(0, int64(k), 1)
+	ioff := b.Shl(i, 2)
+	id := b.Ldg(b.IAdd(base, ioff), 0, 4)
+	v := b.Ldg(b.IMad(id, b.MovImm(4), data), 0, 4)
+	nv := b.FAdd(acc, v)
+	for f := 0; f < flopsPer; f++ {
+		nv = b.FFma(nv, b.FConst(0.999), v)
+	}
+	b.MovTo(acc, nv)
+	b.EndFor()
+	b.Stg(b.IMad(gid, b.MovImm(4), out), acc, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// constLookupProgram: params (in, out, n). Each thread performs `reads`
+// indexed loads from the constant bank at tableOff, hammering the
+// immediate-constant cache when the table exceeds it (the myocyte/nn and
+// DNN-weight behaviour the paper highlights).
+//
+// uniform selects warp-uniform indices (every lane reads the same word, as
+// DNN weight streaming and shared ODE parameters do — pressure comes from
+// table capacity) versus per-lane divergent indices (per-thread record
+// lookups, which additionally serialise the constant port).
+func constLookupProgram(name string, tableOff int64, tableWords int64, reads, flops int, uniform bool) *kernel.Program {
+	return constLookupChase(name, tableOff, tableWords, reads, flops, uniform, false)
+}
+
+// constLookupChase is constLookupProgram with an optional dependent index
+// chain: each lookup's index derives from the previous value, so constant
+// misses serialise per warp instead of overlapping — the record-walking
+// behaviour of nn.
+func constLookupChase(name string, tableOff int64, tableWords int64, reads, flops int, uniform, chase bool) *kernel.Program {
+	return constLookupFull(name, tableOff, tableWords, reads, flops, uniform, chase, 0)
+}
+
+// constLookupFull additionally reserves sharedBytes of (otherwise unused)
+// shared memory per block, limiting residency the way real kernels' tile
+// buffers do — the lever that keeps DNN stand-ins from hiding their
+// constant-cache misses behind deep occupancy.
+func constLookupFull(name string, tableOff int64, tableWords int64, reads, flops int, uniform, chase bool, sharedBytes int) *kernel.Program {
+	if tableWords&(tableWords-1) != 0 {
+		panic(fmt.Sprintf("workloads: %s table size %d not a power of two", name, tableWords))
+	}
+	b := kernel.NewBuilder(name)
+	if sharedBytes > 0 {
+		b.DeclShared(sharedBytes)
+	}
+	in := b.Param(0)
+	out := b.Param(1)
+	n := b.Param(2)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	feat := b.Ldg(b.IMad(gid, b.MovImm(4), in), 0, 4)
+	acc := b.FConst(0)
+	var cursor isa.Reg
+	if uniform {
+		// Warp-uniform starting point: all lanes of a warp read the same
+		// constant word each iteration, but distinct warps walk distinct
+		// streams (as distinct output tiles consume distinct weights).
+		cursor = b.IMad(b.S2R(isa.SRCtaIDX), b.MovImm(131), b.IMulImm(b.S2R(isa.SRWarpID), 29))
+	} else {
+		cursor = b.Mov(feat)
+	}
+	i := b.ForImm(0, int64(reads), 1)
+	mixed := b.IAdd(b.IMulImm(cursor, 2654435761), b.IMulImm(i, 97))
+	word := b.AndImm(mixed, tableWords-1)
+	coff := b.IMad(word, b.MovImm(4), b.MovImm(tableOff))
+	v := b.Ldc(coff, 0, 4)
+	nv := b.FFma(v, b.I2F(feat), acc)
+	for f := 0; f < flops; f++ {
+		nv = b.FFma(nv, b.FConst(1.0001), v)
+	}
+	b.MovTo(acc, nv)
+	if chase {
+		// Next index depends on the loaded value: the lookup chain cannot
+		// overlap its constant-cache misses.
+		b.MovTo(cursor, b.IAdd(mixed, b.F2I(b.FMul(v, b.FConst(4096)))))
+	} else {
+		b.MovTo(cursor, mixed)
+	}
+	b.EndFor()
+	b.Stg(b.IMad(gid, b.MovImm(4), out), acc, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// stencil2DProgram: params (in, out, W, H). 5-point Jacobi step, launched
+// with block (32,4) and a 2-D grid. Boundary threads exit.
+func stencil2DProgram(name string, extraFlops int) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	in := b.Param(0)
+	out := b.Param(1)
+	w := b.Param(2)
+	h := b.Param(3)
+	x := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	y := b.IMad(b.S2R(isa.SRCtaIDY), b.S2R(isa.SRNTidY), b.S2R(isa.SRTidY))
+	b.ExitIf(b.ISetpImm(isa.CmpLT, x, 1), false)
+	b.ExitIf(b.ISetpImm(isa.CmpLT, y, 1), false)
+	b.ExitIf(b.ISetp(isa.CmpGE, x, b.IAddImm(w, -1)), false)
+	b.ExitIf(b.ISetp(isa.CmpGE, y, b.IAddImm(h, -1)), false)
+	row := b.IMad(y, w, x)
+	caddr := b.IMad(row, b.MovImm(4), in)
+	wBytes := b.Shl(w, 2)
+	c := b.Ldg(caddr, 0, 4)
+	nv := b.Ldg(b.ISub(caddr, wBytes), 0, 4)
+	sv := b.Ldg(b.IAdd(caddr, wBytes), 0, 4)
+	ev := b.Ldg(caddr, 4, 4)
+	wv := b.Ldg(caddr, -4, 4)
+	sum := b.FAdd(b.FAdd(nv, sv), b.FAdd(ev, wv))
+	lap := b.FFma(c, b.FConst(-4), sum)
+	res := b.FFma(lap, b.FConst(0.2), c)
+	for i := 0; i < extraFlops; i++ {
+		res = b.FFma(res, b.FConst(0.9999), c)
+	}
+	b.Stg(b.IMad(row, b.MovImm(4), out), res, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// stencil3DProgram: params (in, out, W, H, D). The kernel walks the Z
+// dimension in-thread (streaming reuse), as hotspot3D does. extraFlops adds
+// per-point arithmetic (the thermal model's coefficient math).
+func stencil3DProgram(name string, extraFlops int) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	in := b.Param(0)
+	out := b.Param(1)
+	w := b.Param(2)
+	h := b.Param(3)
+	d := b.Param(4)
+	x := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	y := b.IMad(b.S2R(isa.SRCtaIDY), b.S2R(isa.SRNTidY), b.S2R(isa.SRTidY))
+	b.ExitIf(b.ISetpImm(isa.CmpLT, x, 1), false)
+	b.ExitIf(b.ISetpImm(isa.CmpLT, y, 1), false)
+	b.ExitIf(b.ISetp(isa.CmpGE, x, b.IAddImm(w, -1)), false)
+	b.ExitIf(b.ISetp(isa.CmpGE, y, b.IAddImm(h, -1)), false)
+	plane := b.IMul(w, h)
+	planeBytes := b.Shl(plane, 2)
+	wBytes := b.Shl(w, 2)
+	row := b.IMad(y, w, x)
+	addr := b.IMad(row, b.MovImm(4), in) // z = 0
+	oaddr := b.IMad(row, b.MovImm(4), out)
+	below := b.Ldg(addr, 0, 4)
+	cur := b.Ldg(b.IAdd(addr, planeBytes), 0, 4)
+	z := b.For(1, b.IAddImm(d, -1), 1)
+	zoff := b.IMul(z, planeBytes)
+	a := b.IAdd(addr, zoff)
+	above := b.Ldg(b.IAdd(a, planeBytes), 0, 4)
+	nv := b.Ldg(b.ISub(a, wBytes), 0, 4)
+	sv := b.Ldg(b.IAdd(a, wBytes), 0, 4)
+	ev := b.Ldg(a, 4, 4)
+	wv := b.Ldg(a, -4, 4)
+	sum6 := b.FAdd(b.FAdd(b.FAdd(nv, sv), b.FAdd(ev, wv)), b.FAdd(above, below))
+	lap := b.FFma(cur, b.FConst(-6), sum6)
+	res := b.FFma(lap, b.FConst(0.125), cur)
+	for i := 0; i < extraFlops; i++ {
+		res = b.FFma(res, b.FConst(0.99995), cur)
+	}
+	b.Stg(b.IAdd(oaddr, zoff), res, 0, 4)
+	b.MovTo(below, cur)
+	b.MovTo(cur, above)
+	b.EndFor()
+	b.Exit()
+	return b.MustBuild()
+}
+
+// tiledMatMulProgram: params (A, B, C, K, N). C[MxN] = A[MxK] x B[KxN] with
+// T x T shared tiles, launched with block (T, T) and grid (N/T, M/T). The
+// compute core of gemm, heartwall and lavaMD stand-ins.
+func tiledMatMulProgram(name string, tile int) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	tb := int64(tile)
+	shA := b.DeclShared(tile * tile * 4)
+	shB := b.DeclShared(tile * tile * 4)
+	a := b.Param(0)
+	bm := b.Param(1)
+	cm := b.Param(2)
+	kdim := b.Param(3)
+	ndim := b.Param(4)
+	tx := b.S2R(isa.SRTidX)
+	ty := b.S2R(isa.SRTidY)
+	row := b.IMad(b.S2R(isa.SRCtaIDY), b.MovImm(tb), ty)
+	col := b.IMad(b.S2R(isa.SRCtaIDX), b.MovImm(tb), tx)
+	acc := b.FConst(0)
+	kBytes := b.Shl(kdim, 2)
+	nBytes := b.Shl(ndim, 2)
+	// Per-thread shared addresses.
+	shARow := b.IMad(ty, b.MovImm(tb*4), b.MovImm(shA))
+	shBRow := b.IMad(ty, b.MovImm(tb*4), b.MovImm(shB))
+	shAAddr := b.IMad(tx, b.MovImm(4), shARow)
+	shBAddr := b.IMad(tx, b.MovImm(4), shBRow)
+	nTiles := b.Shr(kdim, int64(log2(tile)))
+	t := b.For(0, nTiles, 1)
+	// Load A[row][t*T+tx] and B[t*T+ty][col].
+	ak := b.IMad(t, b.MovImm(tb), tx)
+	aAddr := b.IAdd(b.IMad(row, kBytes, a), b.Shl(ak, 2))
+	av := b.Ldg(aAddr, 0, 4)
+	b.Sts(shAAddr, av, 0, 4)
+	bk := b.IMad(t, b.MovImm(tb), ty)
+	bAddr := b.IAdd(b.IMad(bk, nBytes, bm), b.Shl(col, 2))
+	bv := b.Ldg(bAddr, 0, 4)
+	b.Sts(shBAddr, bv, 0, 4)
+	b.Bar()
+	kk := b.ForImm(0, tb, 1)
+	av2 := b.Lds(b.IMad(kk, b.MovImm(4), shARow), 0, 4)
+	bv2 := b.Lds(b.IMad(kk, b.MovImm(tb*4), b.IMad(tx, b.MovImm(4), b.MovImm(shB))), 0, 4)
+	nacc := b.FFma(av2, bv2, acc)
+	b.MovTo(acc, nacc)
+	b.EndFor()
+	b.Bar()
+	b.EndFor()
+	cAddr := b.IAdd(b.IMad(row, nBytes, cm), b.Shl(col, 2))
+	b.Stg(cAddr, acc, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+func log2(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}
+
+// reductionProgram: params (in, out). Block-wide shared-memory tree sum into
+// out[blockIdx], block size must equal blockSize.
+func reductionProgram(name string, blockSize int) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	sh := b.DeclShared(blockSize * 4)
+	in := b.Param(0)
+	out := b.Param(1)
+	tid := b.S2R(isa.SRTidX)
+	gid := b.GlobalIDX()
+	four := b.MovImm(4)
+	v := b.Ldg(b.IMad(gid, four, in), 0, 4)
+	shAddr := b.IMad(tid, four, b.MovImm(sh))
+	b.Sts(shAddr, v, 0, 4)
+	b.Bar()
+	for stride := blockSize / 2; stride >= 1; stride /= 2 {
+		p := b.ISetpImm(isa.CmpLT, tid, int64(stride))
+		b.If(p)
+		other := b.Lds(shAddr, int64(stride*4), 4)
+		mine := b.Lds(shAddr, 0, 4)
+		b.Sts(shAddr, b.FAdd(mine, other), 0, 4)
+		b.EndIf()
+		b.Bar()
+	}
+	p0 := b.ISetpImm(isa.CmpEQ, tid, 0)
+	b.If(p0)
+	total := b.Lds(shAddr, 0, 4)
+	b.Stg(b.IMad(b.S2R(isa.SRCtaIDX), four, out), total, 0, 4)
+	b.EndIf()
+	b.Exit()
+	return b.MustBuild()
+}
+
+// pointerChaseProgram: params (chain, keys, out, steps). Serial dependent
+// node-chain walks — one chain per warp, with the warp's lanes scanning the
+// node's keys cooperatively (coalesced), the b+tree findK access pattern:
+// pure memory latency on the chain, streaming on the keys.
+func pointerChaseProgram(name string) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	chain := b.Param(0)
+	keys := b.Param(1)
+	out := b.Param(2)
+	steps := b.Param(3)
+	gid := b.GlobalIDX()
+	lane := b.S2R(isa.SRLaneID)
+	// Warp-uniform chain cursor: every lane follows the same node sequence.
+	cur := b.Shr(gid, 5)
+	best := b.MovImm(0)
+	b.For(0, steps, 1)
+	// Lanes scan the current node's 32 keys cooperatively.
+	keyAddr := b.IMad(b.IMad(cur, b.MovImm(32), lane), b.MovImm(4), keys)
+	k := b.Ldg(keyAddr, 0, 4)
+	b.MovTo(best, b.IMax(best, k))
+	// Dependent next-node load (uniform across the warp).
+	nxt := b.Ldg(b.IMad(cur, b.MovImm(4), chain), 0, 4)
+	b.MovTo(cur, nxt)
+	b.EndFor()
+	b.Stg(b.IMad(gid, b.MovImm(4), out), best, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// divergentProgram: params (in, out, n). A 2-way data-dependent branch with
+// asymmetric work — warp-efficiency loss proportional to imbalance.
+func divergentProgram(name string, heavyOps, lightOps int) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	in := b.Param(0)
+	out := b.Param(1)
+	n := b.Param(2)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	off := b.Shl(gid, 2)
+	v := b.Ldg(b.IAdd(in, off), 0, 4)
+	parity := b.AndImm(v, 1)
+	acc := b.I2F(v)
+	p := b.ISetpImm(isa.CmpEQ, parity, 1)
+	b.If(p)
+	for i := 0; i < heavyOps; i++ {
+		b.MovTo(acc, b.FFma(acc, b.FConst(1.01), acc))
+	}
+	b.Else()
+	for i := 0; i < lightOps; i++ {
+		b.MovTo(acc, b.FAdd(acc, b.FConst(1)))
+	}
+	b.EndIf()
+	b.Stg(b.IAdd(out, off), acc, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// computeLoopProgram: params (out, n, iters). A register-resident FMA chain
+// per thread (maxflops). pipe selects FP32, FP64 or SFU work.
+func computeLoopProgram(name string, pipe isa.Pipe, unroll int) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	out := b.Param(0)
+	n := b.Param(1)
+	iters := b.Param(2)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	switch pipe {
+	case isa.PipeFP64:
+		acc := b.DConst(1.000001)
+		x := b.DConst(0.999999)
+		b.For(0, iters, 1)
+		for i := 0; i < unroll; i++ {
+			b.MovTo(acc, b.DFma(acc, x, acc))
+		}
+		b.EndFor()
+		b.Stg(b.IMad(gid, b.MovImm(8), out), acc, 0, 8)
+	case isa.PipeSFU:
+		acc := b.FConst(0.5)
+		b.For(0, iters, 1)
+		for i := 0; i < unroll; i++ {
+			b.MovTo(acc, b.Mufu(isa.MufuSIN, acc))
+		}
+		b.EndFor()
+		b.Stg(b.IMad(gid, b.MovImm(4), out), acc, 0, 4)
+	default:
+		acc := b.FConst(1.000001)
+		x := b.FConst(0.999999)
+		b.For(0, iters, 1)
+		for i := 0; i < unroll; i++ {
+			b.MovTo(acc, b.FFma(acc, x, acc))
+		}
+		b.EndFor()
+		b.Stg(b.IMad(gid, b.MovImm(4), out), acc, 0, 4)
+	}
+	b.Exit()
+	return b.MustBuild()
+}
+
+// mandelbrotProgram: params (out, W, maxIter). Escape-time iteration with a
+// per-thread break — high arithmetic intensity, mild divergence.
+func mandelbrotProgram(name string) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	out := b.Param(0)
+	w := b.Param(1)
+	maxIter := b.Param(2)
+	x := b.IMad(b.S2R(isa.SRCtaIDX), b.S2R(isa.SRNTidX), b.S2R(isa.SRTidX))
+	y := b.IMad(b.S2R(isa.SRCtaIDY), b.S2R(isa.SRNTidY), b.S2R(isa.SRTidY))
+	// c = (x/W*3.5-2.5, y/W*2-1)
+	fw := b.I2F(w)
+	invW := b.Mufu(isa.MufuRCP, fw)
+	cr := b.FFma(b.FMul(b.I2F(x), invW), b.FConst(3.5), b.FConst(-2.5))
+	ci := b.FFma(b.FMul(b.I2F(y), invW), b.FConst(2.0), b.FConst(-1.0))
+	zr := b.FConst(0)
+	zi := b.FConst(0)
+	count := b.MovImm(0)
+	b.For(0, maxIter, 1)
+	zr2 := b.FMul(zr, zr)
+	zi2 := b.FMul(zi, zi)
+	mag := b.FAdd(zr2, zi2)
+	esc := b.FSetp(isa.CmpGT, mag, b.FConst(4))
+	b.BreakIf(esc, false)
+	nzi := b.FFma(b.FMul(zr, zi), b.FConst(2), ci)
+	nzr := b.FAdd(b.FAdd(zr2, b.FMul(zi2, b.FConst(-1))), cr)
+	b.MovTo(zr, nzr)
+	b.MovTo(zi, nzi)
+	b.MovTo(count, b.IAddImm(count, 1))
+	b.EndFor()
+	row := b.IMad(y, w, x)
+	b.Stg(b.IMad(row, b.MovImm(4), out), count, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// histogramProgram: params (in, hist, n). Atomic updates into `bins` bins
+// (power of two) — contention and L2 atomic traffic.
+func histogramProgram(name string, bins int64) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	in := b.Param(0)
+	hist := b.Param(1)
+	n := b.Param(2)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	v := b.Ldg(b.IMad(gid, b.MovImm(4), in), 0, 4)
+	bin := b.AndImm(v, bins-1)
+	one := b.MovImm(1)
+	b.Red(isa.AtomAdd, b.IMad(bin, b.MovImm(4), hist), one, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// gupsProgram: params (table, idx, n, tableMask). Random read-modify-writes
+// across a large table — the classic memory-latency-bound GUPS.
+func gupsProgram(name string) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	table := b.Param(0)
+	idxs := b.Param(1)
+	n := b.Param(2)
+	mask := b.Param(3)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	r := b.Ldg(b.IMad(gid, b.MovImm(4), idxs), 0, 4)
+	slot := b.And(r, mask)
+	addr := b.IMad(slot, b.MovImm(4), table)
+	v := b.Ldg(addr, 0, 4)
+	b.Stg(addr, b.Xor(v, gid), 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// texSampleProgram: params (img, out, n). Texture-path fetches with a
+// deterministic swizzle (the raytracing stand-in together with divergence).
+func texSampleProgram(name string, fetches int) *kernel.Program {
+	b := kernel.NewBuilder(name)
+	img := b.Param(0)
+	out := b.Param(1)
+	n := b.Param(2)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	acc := b.FConst(0)
+	cur := b.Mov(gid)
+	for i := 0; i < fetches; i++ {
+		mix := b.AndImm(b.IMulImm(cur, 1103515245), (1<<14)-1)
+		v := b.Tex(b.IMad(mix, b.MovImm(4), img), 0)
+		b.MovTo(acc, b.FAdd(acc, v))
+		b.MovTo(cur, b.IAddImm(mix, 12345))
+	}
+	b.Stg(b.IMad(gid, b.MovImm(4), out), acc, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}

@@ -1,0 +1,386 @@
+package workloads
+
+import (
+	"gputopdown/internal/isa"
+	"gputopdown/internal/kernel"
+)
+
+// SHOC returns a reconstruction of the Scalable Heterogeneous Computing
+// benchmark suite, the second ancestor of Altis (paper §V.C, ref [17]).
+// SHOC's members are mostly microbenchmark-grade kernels with a sharply
+// defined bottleneck each, which makes the suite a useful orthogonal probe
+// of the Top-Down attribution: every app should land on its advertised
+// component.
+func SHOC() []*App {
+	return []*App{
+		shocTriad(), shocReduction(), shocScan(), shocFFT(), shocMD(),
+		shocMD5Hash(), shocSpmv(), shocStencil2D(), shocSort(), shocGEMM(),
+		shocNeuralNet(), shocS3D(), shocBFS(), shocDeviceMemory(),
+	}
+}
+
+func shocTriad() *App {
+	return &App{
+		Name:  "triad",
+		Suite: "shoc",
+		Description: "STREAM triad: pure bandwidth, one FMA per two loads " +
+			"and a store",
+		Run: func(ctx *RunCtx) error {
+			const n = 192 * 1024
+			a := ctx.Dev.Alloc(n * 4)
+			bBuf := ctx.Dev.Alloc(n * 4)
+			randF32(ctx, a, n, 0, 1)
+			randF32(ctx, bBuf, n, 0, 1)
+			prog := streamProgram("triad_kernel", 1)
+			for it := 0; it < 2; it++ {
+				if err := ctx.Exec(launch1D(prog, n, 256, a, bBuf, n)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func shocReduction() *App {
+	return &App{
+		Name:        "reduction",
+		Suite:       "shoc",
+		Description: "tree reduction in shared memory: barrier-phased",
+		Run: func(ctx *RunCtx) error {
+			const n = 128 * 1024
+			in := ctx.Dev.Alloc(n * 4)
+			out := ctx.Dev.Alloc(n / 256 * 4)
+			randF32(ctx, in, n, 0, 1)
+			prog := reductionProgram("reduce_kernel", 256)
+			for it := 0; it < 2; it++ {
+				if err := ctx.Exec(launch1D(prog, n, 256, in, out)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// shocScanKernel: a Hillis-Steele inclusive scan inside shared memory.
+// params (in, out, n).
+func shocScanKernel() *kernel.Program {
+	b := kernel.NewBuilder("scan_kernel")
+	sh := b.DeclShared(256 * 4 * 2)
+	in := b.Param(0)
+	out := b.Param(1)
+	n := b.Param(2)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	tid := b.S2R(isa.SRTidX)
+	four := b.MovImm(4)
+	v := b.Ldg(b.IMad(gid, four, in), 0, 4)
+	cur := b.Mov(v)
+	shAddr := b.IMad(tid, four, b.MovImm(sh))
+	b.Sts(shAddr, cur, 0, 4)
+	b.Bar()
+	for stride := 1; stride < 256; stride *= 2 {
+		p := b.ISetpImm(isa.CmpGE, tid, int64(stride))
+		b.If(p)
+		prev := b.Lds(shAddr, int64(-stride*4), 4)
+		b.MovTo(cur, b.IAdd(cur, prev))
+		b.EndIf()
+		b.Bar()
+		b.Sts(shAddr, cur, 0, 4)
+		b.Bar()
+	}
+	b.Stg(b.IMad(gid, four, out), cur, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+func shocScan() *App {
+	return &App{
+		Name:        "scan",
+		Suite:       "shoc",
+		Description: "Hillis-Steele prefix sum: synchronisation-dominated",
+		Run: func(ctx *RunCtx) error {
+			const n = 64 * 1024
+			in := ctx.Dev.Alloc(n * 4)
+			out := ctx.Dev.Alloc(n * 4)
+			randIdx(ctx, in, n, 64)
+			prog := shocScanKernel()
+			return ctx.Exec(launch1D(prog, n, 256, in, out, n))
+		},
+	}
+}
+
+// shocFFTKernel: butterfly exchange stages over shared memory with twiddle
+// arithmetic. params (in, out, n).
+func shocFFTKernel() *kernel.Program {
+	b := kernel.NewBuilder("fft_kernel")
+	sh := b.DeclShared(256 * 4)
+	in := b.Param(0)
+	out := b.Param(1)
+	n := b.Param(2)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	tid := b.S2R(isa.SRTidX)
+	four := b.MovImm(4)
+	re := b.Ldg(b.IMad(gid, four, in), 0, 4)
+	shAddr := b.IMad(tid, four, b.MovImm(sh))
+	for stage := 1; stage <= 128; stage *= 2 {
+		b.Sts(shAddr, re, 0, 4)
+		b.Bar()
+		partner := b.Xor(tid, b.MovImm(int64(stage)))
+		other := b.Lds(b.IMad(partner, four, b.MovImm(sh)), 0, 4)
+		tw := b.Mufu(isa.MufuCOS, b.FMul(b.I2F(tid), b.FConst(0.049)))
+		b.MovTo(re, b.FFma(other, tw, re))
+		b.Bar()
+	}
+	b.Stg(b.IMad(gid, four, out), re, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+func shocFFT() *App {
+	return &App{
+		Name:        "fft",
+		Suite:       "shoc",
+		Description: "radix-2 butterfly stages: shared-memory exchange plus SFU twiddles",
+		Run: func(ctx *RunCtx) error {
+			const n = 32 * 1024
+			in := ctx.Dev.Alloc(n * 4)
+			out := ctx.Dev.Alloc(n * 4)
+			randF32(ctx, in, n, -1, 1)
+			prog := shocFFTKernel()
+			return ctx.Exec(launch1D(prog, n, 256, in, out, n))
+		},
+	}
+}
+
+func shocMD() *App {
+	return &App{
+		Name:        "md",
+		Suite:       "shoc",
+		Description: "Lennard-Jones neighbour-list forces: gather plus FP compute",
+		Run: func(ctx *RunCtx) error {
+			const atoms = 32 * 1024
+			const neighbours = 8
+			idx := ctx.Dev.Alloc(atoms * neighbours * 4)
+			pos := ctx.Dev.Alloc(atoms * 4)
+			force := ctx.Dev.Alloc(atoms * 4)
+			randIdx(ctx, idx, atoms*neighbours, atoms)
+			randF32(ctx, pos, atoms, 0, 1)
+			prog := gatherProgram("compute_lj_force", neighbours, 8)
+			return ctx.Exec(launch1D(prog, atoms, 192, idx, pos, force, atoms))
+		},
+	}
+}
+
+// shocMD5Kernel: long integer mix chains per thread, no memory in the loop —
+// pure ALU.
+func shocMD5Kernel(rounds int) *kernel.Program {
+	b := kernel.NewBuilder("md5_kernel")
+	out := b.Param(0)
+	n := b.Param(1)
+	gid := b.GlobalIDX()
+	b.ExitIf(b.ISetp(isa.CmpGE, gid, n), false)
+	a := b.Mov(gid)
+	c := b.IAddImm(gid, 0x67452301)
+	// An outer counted loop re-executes the unrolled mixing body, keeping
+	// the register footprint bounded while the dynamic round count stays
+	// high.
+	b.ForImm(0, int64((rounds+11)/12), 1)
+	for i := 0; i < 12; i++ {
+		t := b.IAdd(b.And(a, c), b.IMulImm(a, 5))
+		t2 := b.Xor(b.Shl(t, 7), b.Shr(t, 3))
+		b.MovTo(a, b.IAdd(c, t2))
+		b.MovTo(c, t)
+	}
+	b.EndFor()
+	b.Stg(b.IMad(gid, b.MovImm(4), out), a, 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+func shocMD5Hash() *App {
+	return &App{
+		Name:        "md5hash",
+		Suite:       "shoc",
+		Description: "hash search: register-resident integer mixing, issue-bound",
+		Run: func(ctx *RunCtx) error {
+			const n = 64 * 1024
+			out := ctx.Dev.Alloc(n * 4)
+			prog := shocMD5Kernel(48)
+			return ctx.Exec(launch1D(prog, n, 256, out, n))
+		},
+	}
+}
+
+func shocSpmv() *App {
+	return &App{
+		Name:        "spmv",
+		Suite:       "shoc",
+		Description: "sparse matrix-vector product in CSR: irregular gathers",
+		Run: func(ctx *RunCtx) error {
+			const rows = 48 * 1024
+			const nnzPerRow = 6
+			cols := ctx.Dev.Alloc(rows * nnzPerRow * 4)
+			x := ctx.Dev.Alloc(rows * 4)
+			y := ctx.Dev.Alloc(rows * 4)
+			randIdx(ctx, cols, rows*nnzPerRow, rows)
+			randF32(ctx, x, rows, 0, 1)
+			prog := gatherProgram("spmv_csr_scalar", nnzPerRow, 1)
+			for it := 0; it < 2; it++ {
+				if err := ctx.Exec(launch1D(prog, rows, 192, cols, x, y, rows)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func shocStencil2D() *App {
+	return &App{
+		Name:        "stencil2d",
+		Suite:       "shoc",
+		Description: "9-point-style 2-D stencil iterations",
+		Run: func(ctx *RunCtx) error {
+			const w, h = 512, 128
+			in := ctx.Dev.Alloc(w * h * 4)
+			out := ctx.Dev.Alloc(w * h * 4)
+			randF32(ctx, in, w*h, 0, 1)
+			prog := stencil2DProgram("StencilKernel", 4)
+			l := &kernel.Launch{
+				Program: prog,
+				Grid:    kernel.Dim3{X: w / 32, Y: h / 4},
+				Block:   kernel.Dim3{X: 32, Y: 4},
+				Params:  []uint64{in, out, w, h},
+			}
+			for it := 0; it < 3; it++ {
+				if err := ctx.Exec(l); err != nil {
+					return err
+				}
+				in, out = out, in
+				l.Params = []uint64{in, out, w, h}
+			}
+			return nil
+		},
+	}
+}
+
+func shocSort() *App {
+	return &App{
+		Name:        "sort",
+		Suite:       "shoc",
+		Description: "radix sort passes: histogram atomics and scatters",
+		Run: func(ctx *RunCtx) error {
+			const n = 64 * 1024
+			keys := ctx.Dev.Alloc(n * 4)
+			hist := ctx.Dev.Alloc(256 * 4)
+			scratch := ctx.Dev.Alloc(n * 4)
+			randIdx(ctx, keys, n, 1<<30)
+			hi := histogramProgram("radixSortStep", 256)
+			scatter := stridedProgram("radixScatter", 64)
+			for digit := 0; digit < 2; digit++ {
+				zeroF32(ctx, hist, 256)
+				if err := ctx.Exec(launch1D(hi, n, 256, keys, hist, n)); err != nil {
+					return err
+				}
+				if err := ctx.Exec(launch1D(scatter, n/16, 256, keys, scratch, n/16)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func shocGEMM() *App {
+	return &App{
+		Name:        "gemm",
+		Suite:       "shoc",
+		Description: "tiled dense matrix multiply",
+		Run: func(ctx *RunCtx) error {
+			const m, n, k = 128, 128, 256
+			a := ctx.Dev.Alloc(m * k * 4)
+			bm := ctx.Dev.Alloc(k * n * 4)
+			c := ctx.Dev.Alloc(m * n * 4)
+			randF32(ctx, a, m*k, -1, 1)
+			randF32(ctx, bm, k*n, -1, 1)
+			prog := tiledMatMulProgram("sgemmNN", 16)
+			l := &kernel.Launch{
+				Program: prog,
+				Grid:    kernel.Dim3{X: n / 16, Y: m / 16},
+				Block:   kernel.Dim3{X: 16, Y: 16},
+				Params:  []uint64{a, bm, c, k, n},
+			}
+			return ctx.Exec(l)
+		},
+	}
+}
+
+func shocNeuralNet() *App {
+	return &App{
+		Name:        "neuralnet",
+		Suite:       "shoc",
+		Description: "feed-forward layer with constant-memory weights",
+		Run: func(ctx *RunCtx) error {
+			const n = 24 * 1024
+			in := ctx.Dev.Alloc(n * 4)
+			out := ctx.Dev.Alloc(n * 4)
+			randIdx(ctx, in, n, 1<<20)
+			weights := make([]float32, 4096)
+			for i := range weights {
+				weights[i] = ctx.Rng.Float32() - 0.5
+			}
+			ctx.Dev.Const.WriteF32Slice(kernel.ParamSpace, weights)
+			prog := constLookupFull("nn_forward", kernel.ParamSpace, 4096, 24, 2, true, true, 24*1024)
+			return ctx.Exec(launch1D(prog, n, 256, in, out, n))
+		},
+	}
+}
+
+func shocS3D() *App {
+	return &App{
+		Name:        "s3d",
+		Suite:       "shoc",
+		Description: "combustion chemistry rates: transcendental-heavy per-cell work",
+		Run: func(ctx *RunCtx) error {
+			const n = 48 * 1024
+			out := ctx.Dev.Alloc(n * 4)
+			prog := computeLoopProgram("ratt_kernel", isa.PipeSFU, 4)
+			return ctx.Exec(launch1D(prog, n, 192, out, n, 8))
+		},
+	}
+}
+
+func shocBFS() *App {
+	app := bfsApp("shoc", 1)
+	app.Description = "level-synchronous BFS (SHOC graph sizes)"
+	return app
+}
+
+func shocDeviceMemory() *App {
+	return &App{
+		Name:        "devicememory",
+		Suite:       "shoc",
+		Description: "memory microbenchmarks: coalesced, strided and random access",
+		Run: func(ctx *RunCtx) error {
+			const n = 96 * 1024
+			buf := ctx.Dev.Alloc(n * 64)
+			out := ctx.Dev.Alloc(n * 4)
+			idx := ctx.Dev.Alloc(n * 4)
+			randF32(ctx, buf, n, 0, 1)
+			randIdx(ctx, idx, n, 1<<30)
+			coalesced := streamProgram("readGlobalMemoryCoalesced", 0)
+			strided := stridedProgram("readGlobalMemoryUnit", 64)
+			random := gupsProgram("readGlobalMemoryRandom")
+			if err := ctx.Exec(launch1D(coalesced, n, 256, buf, out, n)); err != nil {
+				return err
+			}
+			if err := ctx.Exec(launch1D(strided, n/4, 256, buf, out, n/4)); err != nil {
+				return err
+			}
+			return ctx.Exec(launch1D(random, n/2, 256, buf, idx, n/2, n-1))
+		},
+	}
+}

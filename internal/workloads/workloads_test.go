@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"testing"
+
+	"gputopdown/internal/gpu"
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/sim"
+	"gputopdown/internal/sm"
+)
+
+// runApp executes an app natively on a small device and returns the
+// aggregate counters and number of launches.
+func runApp(t *testing.T, a *App) (sm.Counters, int) {
+	t.Helper()
+	dev := sim.NewDevice(gpu.QuadroRTX4000().WithSMs(4))
+	var total sm.Counters
+	launches := 0
+	err := a.Execute(dev, func(l *kernel.Launch) error {
+		res, err := dev.Launch(l)
+		if err != nil {
+			return err
+		}
+		total.Add(&res.Counters)
+		launches++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", a.ID(), err)
+	}
+	return total, launches
+}
+
+func checkSane(t *testing.T, a *App, c sm.Counters, launches int) {
+	t.Helper()
+	if launches == 0 {
+		t.Errorf("%s: no kernels launched", a.ID())
+	}
+	if c.InstExecuted == 0 {
+		t.Errorf("%s: no instructions executed", a.ID())
+	}
+	if c.StateSum() != c.ActiveWarpCycles {
+		t.Errorf("%s: state closure violated: %d != %d", a.ID(), c.StateSum(), c.ActiveWarpCycles)
+	}
+	if c.InstIssued < c.InstExecuted {
+		t.Errorf("%s: issued %d < executed %d", a.ID(), c.InstIssued, c.InstExecuted)
+	}
+	if c.ThreadInstExecuted == 0 {
+		t.Errorf("%s: no thread instructions", a.ID())
+	}
+}
+
+func TestRodiniaAppsRun(t *testing.T) {
+	for _, a := range Rodinia() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			c, n := runApp(t, a)
+			checkSane(t, a, c, n)
+		})
+	}
+}
+
+func TestAltisAppsRun(t *testing.T) {
+	for _, a := range Altis() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			c, n := runApp(t, a)
+			checkSane(t, a, c, n)
+		})
+	}
+}
+
+func TestSHOCAppsRun(t *testing.T) {
+	for _, a := range SHOC() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			c, n := runApp(t, a)
+			checkSane(t, a, c, n)
+		})
+	}
+}
+
+func TestCUDASamplesRun(t *testing.T) {
+	for _, a := range CUDASamples() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			c, n := runApp(t, a)
+			checkSane(t, a, c, n)
+		})
+	}
+}
+
+func TestSuiteRegistry(t *testing.T) {
+	if len(Rodinia()) < 18 {
+		t.Errorf("Rodinia has %d apps", len(Rodinia()))
+	}
+	if len(Altis()) < 15 {
+		t.Errorf("Altis has %d apps", len(Altis()))
+	}
+	if len(SHOC()) < 12 {
+		t.Errorf("SHOC has %d apps", len(SHOC()))
+	}
+	if len(CUDASamples()) != len(BinaryPartitionTileSizes) {
+		t.Errorf("CUDASamples has %d apps", len(CUDASamples()))
+	}
+	for _, s := range Suites() {
+		apps := BySuite(s)
+		if len(apps) == 0 {
+			t.Errorf("suite %s empty", s)
+		}
+		seen := map[string]bool{}
+		for _, a := range apps {
+			if a.Suite != s {
+				t.Errorf("%s listed under %s", a.ID(), s)
+			}
+			if a.Description == "" {
+				t.Errorf("%s has no description", a.ID())
+			}
+			if seen[a.Name] {
+				t.Errorf("duplicate app %s in %s", a.Name, s)
+			}
+			seen[a.Name] = true
+		}
+	}
+	if _, ok := Lookup("rodinia", "bfs"); !ok {
+		t.Error("rodinia/bfs not found")
+	}
+	if _, ok := Lookup("nope", "bfs"); ok {
+		t.Error("bogus suite found")
+	}
+	if _, ok := Lookup("rodinia", "nope"); ok {
+		t.Error("bogus app found")
+	}
+	if BySuite("nope") != nil {
+		t.Error("bogus suite returned apps")
+	}
+}
+
+func TestSeedStability(t *testing.T) {
+	if seedFor("rodinia/bfs") != seedFor("rodinia/bfs") {
+		t.Error("seed not stable")
+	}
+	if seedFor("rodinia/bfs") == seedFor("altis/bfs") {
+		t.Error("seeds collide across suites")
+	}
+}
+
+// Characterisation checks that the suite members show the microarchitectural
+// signatures the paper relies on.
+func TestCharacterisationSignatures(t *testing.T) {
+	get := func(suite, name string) sm.Counters {
+		a, ok := Lookup(suite, name)
+		if !ok {
+			t.Fatalf("%s/%s missing", suite, name)
+		}
+		c, _ := runApp(t, a)
+		return c
+	}
+
+	// myocyte and nn: IMC misses must be substantial (constant pressure).
+	for _, name := range []string{"myocyte", "nn"} {
+		c := get("rodinia", name)
+		if c.IMCMisses < c.IMCHits/8 {
+			t.Errorf("rodinia/%s: IMC misses %d vs hits %d — constant pressure missing",
+				name, c.IMCMisses, c.IMCHits)
+		}
+	}
+	// kmeans keeps its centroid table resident: high IMC hit rate.
+	if c := get("rodinia", "kmeans"); c.IMCMisses*20 > c.IMCHits {
+		t.Errorf("rodinia/kmeans: IMC miss rate too high (%d misses / %d hits)",
+			c.IMCMisses, c.IMCHits)
+	}
+	// bfs diverges.
+	if c := get("rodinia", "bfs"); c.DivergentBranches == 0 {
+		t.Error("rodinia/bfs shows no divergence")
+	}
+	// binaryPartitionCG: smaller tiles -> more atomics.
+	c32, _ := runApp(t, BinaryPartitionCG(32))
+	c4, _ := runApp(t, BinaryPartitionCG(4))
+	if c4.Atomics <= c32.Atomics {
+		t.Errorf("tile4 atomics %d <= tile32 atomics %d", c4.Atomics, c32.Atomics)
+	}
+}

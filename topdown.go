@@ -1,0 +1,366 @@
+// Package gputopdown is a Top-Down performance-profiling toolkit for NVIDIA
+// GPUs, reproducing "Top-Down Performance Profiling on NVIDIA's GPUs"
+// (Saiz et al., IPDPS Workshops 2022) on a built-in cycle-level GPU
+// simulator.
+//
+// The package glues the full stack together the way the paper's tool does:
+//
+//	PMU counters -> multi-pass replay (CUPTI) -> nvprof/ncu metrics ->
+//	Top-Down hierarchy (Retire / Divergence / Frontend / Backend)
+//
+// Typical use:
+//
+//	p := gputopdown.NewProfiler(gputopdown.QuadroRTX4000(),
+//	        gputopdown.WithLevel(3))
+//	app, _ := gputopdown.LookupApp("rodinia", "srad_v2")
+//	res, _ := p.ProfileApp(app)
+//	fmt.Print(res.Aggregate)
+//
+// Devices are simulated (see DESIGN.md for the substitution argument), so
+// results are bit-reproducible and need no GPU hardware.
+package gputopdown
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gputopdown/internal/core"
+	"gputopdown/internal/cupti"
+	"gputopdown/internal/gpu"
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/pmu"
+	"gputopdown/internal/sim"
+	"gputopdown/internal/workloads"
+)
+
+// Re-exported device models (paper Table IX).
+var (
+	// GTX1070 returns the Pascal (CC 6.1) evaluation GPU.
+	GTX1070 = gpu.GTX1070
+	// QuadroRTX4000 returns the Turing (CC 7.5) evaluation GPU.
+	QuadroRTX4000 = gpu.QuadroRTX4000
+)
+
+// GPUSpec is a device model.
+type GPUSpec = gpu.Spec
+
+// Analysis is a Top-Down result (IPC components; see internal/core).
+type Analysis = core.Analysis
+
+// App is a benchmark application.
+type App = workloads.App
+
+// LookupGPU resolves a short device id ("gtx1070", "rtx4000").
+func LookupGPU(id string) (*GPUSpec, bool) { return gpu.Lookup(id) }
+
+// LookupApp resolves an app by suite and name ("rodinia", "bfs").
+func LookupApp(suite, name string) (*App, bool) { return workloads.Lookup(suite, name) }
+
+// Suites lists the available benchmark suites.
+func Suites() []string { return workloads.Suites() }
+
+// SuiteApps lists a suite's applications.
+func SuiteApps(suite string) []*App { return workloads.BySuite(suite) }
+
+// SradDynamic returns the 100-invocation SRAD application used for the
+// paper's per-invocation dynamic analysis (Figs. 11 and 12).
+func SradDynamic() *App { return workloads.SradDynamic() }
+
+// Option configures a Profiler.
+type Option func(*Profiler)
+
+// WithLevel sets the Top-Down analysis depth (1..3; level 3 requires a
+// CC >= 7.2 device and is capped otherwise).
+func WithLevel(level int) Option { return func(p *Profiler) { p.level = level } }
+
+// WithRawEquations disables the figure-style normalisation and follows the
+// paper's equations (8)-(14) literally, leaving a residual in unlisted
+// warp states.
+func WithRawEquations() Option { return func(p *Profiler) { p.normalize = false } }
+
+// WithHWPM switches counter collection to the HWPM mechanism (single-SM
+// sampling) instead of SMPC (paper §II.A).
+func WithHWPM() Option { return func(p *Profiler) { p.mode = cupti.ModeHWPM } }
+
+// WithMemBytes sets the simulated device-memory size.
+func WithMemBytes(n int) Option { return func(p *Profiler) { p.memBytes = n } }
+
+// WithSampling profiles only every n-th invocation of each kernel, running
+// the rest natively with the most recent sampled values — the paper's §VII
+// mitigation for applications whose kernel counts make full replay
+// impractical.
+func WithSampling(n int) Option { return func(p *Profiler) { p.sampleEvery = n } }
+
+// WithRoofline additionally collects the counters for an instruction-
+// roofline placement (the complement analysis of the paper's related work
+// [26]) and attaches it to each AppResult.
+func WithRoofline() Option { return func(p *Profiler) { p.roofline = true } }
+
+// Profiler runs applications under Top-Down profiling on one GPU model.
+type Profiler struct {
+	spec        *gpu.Spec
+	level       int
+	normalize   bool
+	mode        cupti.Mode
+	memBytes    int
+	sampleEvery int
+	roofline    bool
+}
+
+// NewProfiler builds a profiler for a device model. The default is a
+// normalised level-3 analysis with SMPC collection.
+func NewProfiler(spec *gpu.Spec, opts ...Option) *Profiler {
+	p := &Profiler{
+		spec:      spec,
+		level:     core.Level3,
+		normalize: true,
+		mode:      cupti.ModeSMPC,
+		memBytes:  sim.DefaultMemBytes,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Spec returns the profiler's device model.
+func (p *Profiler) Spec() *gpu.Spec { return p.spec }
+
+// Level returns the configured analysis level after device capping.
+func (p *Profiler) Level() int {
+	return core.NewAnalyzer(p.spec, p.level).Level
+}
+
+// KernelResult is the Top-Down analysis of one kernel invocation.
+type KernelResult struct {
+	Kernel     string
+	Invocation int
+	// Cycles is the kernel's native duration on the device.
+	Cycles uint64
+	// Analysis is the per-invocation Top-Down breakdown.
+	Analysis *core.Analysis
+}
+
+// AppResult is the profile of one application.
+type AppResult struct {
+	App   string
+	Suite string
+	GPU   string
+	// Kernels holds every kernel invocation in execution order.
+	Kernels []KernelResult
+	// Aggregate is the duration-weighted application-level analysis
+	// (paper §V.D).
+	Aggregate *core.Analysis
+	// Passes is the replays per kernel the counter set required.
+	Passes int
+	// NativeCycles and ProfiledCycles are the totals behind the paper's
+	// Fig. 13 overhead ratio.
+	NativeCycles   uint64
+	ProfiledCycles uint64
+	// Roofline is the app-level instruction-roofline placement, present
+	// when the profiler was built WithRoofline.
+	Roofline *core.Roofline
+}
+
+// Overhead returns ProfiledCycles/NativeCycles.
+func (r *AppResult) Overhead() float64 {
+	if r.NativeCycles == 0 {
+		return 0
+	}
+	return float64(r.ProfiledCycles) / float64(r.NativeCycles)
+}
+
+// Series returns the per-invocation analyses of one kernel, in invocation
+// order — the paper's dynamic analysis (Figs. 11 and 12).
+func (r *AppResult) Series(kernelName string) []*core.Analysis {
+	var out []*core.Analysis
+	for _, k := range r.Kernels {
+		if k.Kernel == kernelName {
+			out = append(out, k.Analysis)
+		}
+	}
+	return out
+}
+
+// KernelNames returns the distinct kernel names in first-seen order.
+func (r *AppResult) KernelNames() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, k := range r.Kernels {
+		if !seen[k.Kernel] {
+			seen[k.Kernel] = true
+			names = append(names, k.Kernel)
+		}
+	}
+	return names
+}
+
+// ProfileApp runs one application on a fresh simulated device under the
+// profiler and returns its Top-Down results.
+func (p *Profiler) ProfileApp(app *workloads.App) (*AppResult, error) {
+	dev := sim.NewDeviceMem(p.spec, p.memBytes)
+	return p.profileOn(dev, app)
+}
+
+func (p *Profiler) profileOn(dev *sim.Device, app *workloads.App) (*AppResult, error) {
+	analyzer := core.NewAnalyzer(p.spec, p.level)
+	analyzer.Normalize = p.normalize
+	request, err := analyzer.CounterRequest()
+	if err != nil {
+		return nil, err
+	}
+	if p.roofline {
+		request = append(request, core.RooflineRequest()...)
+	}
+	sess, err := cupti.NewSession(dev, request, p.mode)
+	if err != nil {
+		return nil, err
+	}
+	if p.sampleEvery > 1 {
+		sess.SetSampling(p.sampleEvery)
+	}
+	res := &AppResult{App: app.Name, Suite: app.Suite, GPU: p.spec.Name, Passes: sess.NumPasses()}
+	err = app.Execute(dev, func(l *kernel.Launch) error {
+		rec, err := sess.Profile(l)
+		if err != nil {
+			return err
+		}
+		a := analyzer.Analyze(rec.Kernel, rec.Values)
+		a.Weight = float64(rec.Cycles)
+		res.Kernels = append(res.Kernels, KernelResult{
+			Kernel:     rec.Kernel,
+			Invocation: rec.Invocation,
+			Cycles:     rec.Cycles,
+			Analysis:   a,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Kernels) == 0 {
+		return nil, fmt.Errorf("gputopdown: %s launched no kernels", app.ID())
+	}
+	analyses := make([]*core.Analysis, len(res.Kernels))
+	for i := range res.Kernels {
+		analyses[i] = res.Kernels[i].Analysis
+	}
+	res.Aggregate = core.Aggregate(app.Name, analyses)
+	res.NativeCycles, res.ProfiledCycles = sess.Overhead()
+	if p.roofline {
+		total := pmu.Values{}
+		for _, rec := range sess.Records() {
+			for _, id := range core.RooflineRequest() {
+				total[id] += rec.Values[id]
+			}
+		}
+		res.Roofline = core.ComputeRoofline(p.spec, total)
+	}
+	return res, nil
+}
+
+// TimelinePoint is one interval of an intra-kernel timeline.
+type TimelinePoint = core.TimelinePoint
+
+// Timeline records an intra-kernel Top-Down timeline: the app runs natively
+// with per-interval counter sampling enabled, and the invocation of
+// kernelName selected by invocation (0-based) is analysed interval by
+// interval. This extends the paper's §V.D dynamic analysis below kernel
+// granularity (a simulator-side capability; see internal/core.AnalyzeTimeline).
+func (p *Profiler) Timeline(app *workloads.App, kernelName string, invocation int, interval uint64) ([]TimelinePoint, error) {
+	if interval == 0 {
+		return nil, fmt.Errorf("gputopdown: zero timeline interval")
+	}
+	dev := sim.NewDeviceMem(p.spec, p.memBytes)
+	dev.EnableTrace(interval)
+	analyzer := core.NewAnalyzer(p.spec, p.level)
+	analyzer.Normalize = p.normalize
+	var points []TimelinePoint
+	seen := 0
+	err := app.Execute(dev, func(l *kernel.Launch) error {
+		res, err := dev.Launch(l)
+		if err != nil {
+			return err
+		}
+		if l.Program.Name == kernelName {
+			if seen == invocation {
+				points = analyzer.AnalyzeTimeline(kernelName, res.Trace, interval)
+			}
+			seen++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if seen == 0 {
+		return nil, fmt.Errorf("gputopdown: %s never launched kernel %q", app.ID(), kernelName)
+	}
+	if points == nil {
+		return nil, fmt.Errorf("gputopdown: kernel %q has only %d invocations", kernelName, seen)
+	}
+	return points, nil
+}
+
+// RunNative executes an application without profiling and returns its total
+// device cycles — the Fig. 13 baseline.
+func (p *Profiler) RunNative(app *workloads.App) (uint64, error) {
+	dev := sim.NewDeviceMem(p.spec, p.memBytes)
+	var total uint64
+	err := app.Execute(dev, func(l *kernel.Launch) error {
+		res, err := dev.Launch(l)
+		if err != nil {
+			return err
+		}
+		total += res.Cycles
+		return nil
+	})
+	return total, err
+}
+
+// ProfileSuite profiles every app of a suite, each on its own fresh device,
+// fanning the independent apps across CPU cores. Results keep suite order;
+// the first error aborts.
+func (p *Profiler) ProfileSuite(suite string) ([]*AppResult, error) {
+	apps := workloads.BySuite(suite)
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("gputopdown: unknown suite %q", suite)
+	}
+	return p.ProfileApps(apps)
+}
+
+// ProfileApps profiles a list of apps concurrently (one fresh device each).
+func (p *Profiler) ProfileApps(apps []*workloads.App) ([]*AppResult, error) {
+	results := make([]*AppResult, len(apps))
+	errs := make([]error, len(apps))
+	workers := runtime.NumCPU()
+	if workers > len(apps) {
+		workers = len(apps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = p.ProfileApp(apps[i])
+			}
+		}()
+	}
+	for i := range apps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("gputopdown: %s: %w", apps[i].ID(), err)
+		}
+	}
+	return results, nil
+}
