@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gputopdown/internal/cupti"
 	"gputopdown/internal/gpu"
 	"gputopdown/internal/kernel"
 	"gputopdown/internal/metrics"
+	"gputopdown/internal/obs"
 	"gputopdown/internal/pmu"
 	"gputopdown/internal/sim"
 	"gputopdown/internal/workloads"
@@ -35,6 +37,10 @@ func main() {
 	listMetrics := flag.Bool("list-metrics", false, "list the device's available metrics")
 	hwpm := flag.Bool("hwpm", false, "collect via HWPM instead of SMPC")
 	sms := flag.Int("sms", 0, "override the SM count (0 = full device)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write profiler self-metrics in Prometheus text format")
+	traceBlocks := flag.Bool("trace-blocks", false, "include per-block dispatch instants in the trace (voluminous)")
+	overhead := flag.Bool("overhead", false, "print a measured replay-overhead summary line")
 	flag.Parse()
 
 	spec, ok := gpu.Lookup(*gpuID)
@@ -85,8 +91,23 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+
+	var tracer *obs.Tracer
+	var registry *obs.Registry
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		tracer.SetBlockDetail(*traceBlocks)
+	}
+	if *metricsOut != "" {
+		registry = obs.NewRegistry()
+	}
+	if tracer != nil || registry != nil {
+		sess.SetObserver(tracer, registry)
+	}
+
 	fmt.Printf("==PROF== profiling %s/%s on %s (%s, %d passes per kernel)\n",
 		*suite, *appName, spec.Name, mode, sess.NumPasses())
+	wallStart := time.Now()
 
 	err = app.Execute(dev, func(l *kernel.Launch) error {
 		rec, err := sess.Profile(l)
@@ -111,6 +132,28 @@ func main() {
 	native, profiled := sess.Overhead()
 	fmt.Printf("==PROF== native %d cycles, profiled %d cycles (%.1fx)\n",
 		native, profiled, float64(profiled)/float64(native))
+	if *overhead {
+		wall := time.Since(wallStart).Seconds()
+		throughput := 0.0
+		if wall > 0 {
+			throughput = float64(profiled) / wall
+		}
+		fmt.Printf("overhead: app=%s/%s gpu=%q passes=%d native=%d profiled=%d ratio=%.1fx wall=%.3fs throughput=%.3g cyc/s\n",
+			*suite, *appName, spec.Name, sess.NumPasses(), native, profiled,
+			float64(profiled)/float64(native), wall, throughput)
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "gpuprof: wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+	}
+	if registry != nil {
+		if err := registry.WriteFile(*metricsOut); err != nil {
+			fatalf("writing metrics: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "gpuprof: wrote metrics to %s\n", *metricsOut)
+	}
 
 	// Quiet-but-real use of the raw counter names, mirroring ncu's
 	// --query-metrics: report which raw counters backed the request.

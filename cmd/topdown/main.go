@@ -33,12 +33,43 @@ func main() {
 	dynamic := flag.Bool("dynamic", false, "run the 100-invocation srad dynamic analysis")
 	compare := flag.Bool("compare", false, "run the app on both GPUs and print a side-by-side comparison")
 	list := flag.Bool("list", false, "list available devices and applications")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write profiler self-metrics in Prometheus text format")
+	traceBlocks := flag.Bool("trace-blocks", false, "include per-block dispatch instants in the trace (voluminous)")
+	overhead := flag.Bool("overhead", false, "print a measured replay-overhead summary line per app")
 	flag.Parse()
 
 	if *list {
 		listAll()
 		return
 	}
+
+	// Observability: a tracer and/or metrics registry shared by every
+	// profiler this invocation builds, flushed to disk on exit.
+	var tracer *gputopdown.Tracer
+	var registry *gputopdown.MetricsRegistry
+	if *traceOut != "" {
+		tracer = gputopdown.NewTracer()
+		tracer.SetBlockDetail(*traceBlocks)
+	}
+	if *metricsOut != "" {
+		registry = gputopdown.NewMetricsRegistry()
+	}
+	writeObs := func() {
+		if tracer != nil {
+			if err := tracer.WriteFile(*traceOut); err != nil {
+				fatalf("writing trace: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "topdown: wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+		}
+		if registry != nil {
+			if err := registry.WriteFile(*metricsOut); err != nil {
+				fatalf("writing metrics: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "topdown: wrote metrics to %s\n", *metricsOut)
+		}
+	}
+	defer writeObs()
 
 	spec, ok := gputopdown.LookupGPU(*gpuID)
 	if !ok {
@@ -53,6 +84,9 @@ func main() {
 	}
 	if *hwpm {
 		opts = append(opts, gputopdown.WithHWPM())
+	}
+	if tracer != nil || registry != nil {
+		opts = append(opts, gputopdown.WithObserver(tracer, registry))
 	}
 	p := gputopdown.NewProfiler(spec, opts...)
 
@@ -70,13 +104,17 @@ func main() {
 	}
 
 	if *compare {
-		compareGPUs(app, *level, *sms)
+		compareGPUs(app, *level, *sms, tracer, registry)
 		return
 	}
 
 	res, err := p.ProfileApp(app)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *overhead {
+		printOverhead(res)
 	}
 
 	if *dynamic {
@@ -110,10 +148,23 @@ func main() {
 	}
 }
 
+// printOverhead prints the measured replay-overhead summary: the paper's
+// Fig. 13 accounting from live instrumentation, plus wall time and sim
+// throughput for the run.
+func printOverhead(res *gputopdown.AppResult) {
+	throughput := 0.0
+	if res.WallSeconds > 0 {
+		throughput = float64(res.ProfiledCycles) / res.WallSeconds
+	}
+	fmt.Printf("overhead: app=%s/%s gpu=%q passes=%d native=%d profiled=%d ratio=%.1fx wall=%.3fs throughput=%.3g cyc/s\n",
+		res.Suite, res.App, res.GPU, res.Passes, res.NativeCycles,
+		res.ProfiledCycles, res.Overhead(), res.WallSeconds, throughput)
+}
+
 // compareGPUs reproduces the paper's architecture-vs-architecture reading of
 // the hierarchy (§V.B): the same application on Pascal and Turing,
 // component by component.
-func compareGPUs(app *gputopdown.App, level, sms int) {
+func compareGPUs(app *gputopdown.App, level, sms int, tracer *gputopdown.Tracer, registry *gputopdown.MetricsRegistry) {
 	type row struct {
 		name string
 		pick func(a *gputopdown.Analysis) float64
@@ -135,7 +186,11 @@ func compareGPUs(app *gputopdown.App, level, sms int) {
 		if sms > 0 {
 			spec = spec.WithSMs(sms)
 		}
-		p := gputopdown.NewProfiler(spec, gputopdown.WithLevel(level))
+		opts := []gputopdown.Option{gputopdown.WithLevel(level)}
+		if tracer != nil || registry != nil {
+			opts = append(opts, gputopdown.WithObserver(tracer, registry))
+		}
+		p := gputopdown.NewProfiler(spec, opts...)
 		res, err := p.ProfileApp(app)
 		if err != nil {
 			fatalf("%s: %v", id, err)

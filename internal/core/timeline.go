@@ -1,6 +1,7 @@
 package core
 
 import (
+	"gputopdown/internal/obs"
 	"gputopdown/internal/pmu"
 	"gputopdown/internal/sm"
 )
@@ -22,6 +23,15 @@ type TimelinePoint struct {
 // itself is the unchanged Top-Down machinery.
 func (an *Analyzer) AnalyzeTimeline(kernelName string, samples []sm.Counters, interval uint64) []TimelinePoint {
 	var out []TimelinePoint
+	if an.tracer != nil {
+		spanStart := an.tracer.Now()
+		defer func() {
+			an.tracer.Complete(obs.PIDProfiler, 2, "core",
+				"timeline "+kernelName, spanStart,
+				map[string]any{"samples": len(samples), "points": len(out),
+					"interval_cycles": interval})
+		}()
+	}
 	for i := range samples {
 		s := &samples[i]
 		if s.InstExecuted == 0 && s.ActiveWarpCycles == 0 {

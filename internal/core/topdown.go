@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"gputopdown/internal/gpu"
 	"gputopdown/internal/metrics"
+	"gputopdown/internal/obs"
 	"gputopdown/internal/pmu"
 )
 
@@ -121,6 +123,24 @@ type Analyzer struct {
 	// Normalize renormalises stall components over their sum so the level-1
 	// stack adds up to IPC_MAX (default true, as in the paper's figures).
 	Normalize bool
+
+	// Observability (nil/disabled by default; see SetObserver).
+	tracer    *obs.Tracer
+	obsOn     bool
+	mAnalyses *obs.Counter
+	hAnalWall *obs.Histogram
+}
+
+// SetObserver attaches an execution tracer and metrics registry to the
+// analyzer: every Analyze and AnalyzeTimeline call becomes a wall-clock span
+// and feeds the analysis self-metrics. Either argument may be nil.
+func (an *Analyzer) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
+	an.tracer = tr
+	an.obsOn = tr != nil || reg != nil
+	an.mAnalyses = reg.Counter("analysis_total",
+		"Top-Down analyses computed (kernels plus timeline intervals).", nil)
+	an.hAnalWall = reg.Histogram("analysis_wall_seconds",
+		"Wall-clock duration of individual Top-Down analyses.", nil, nil)
 }
 
 // NewAnalyzer builds an analyzer for a device at the given level. It caps
@@ -190,6 +210,19 @@ func (an *Analyzer) CounterRequest() ([]pmu.CounterID, error) {
 
 // Analyze computes the Top-Down breakdown from collected counter values.
 func (an *Analyzer) Analyze(kernelName string, values pmu.Values) *Analysis {
+	if an.obsOn {
+		spanStart := an.tracer.Now()
+		wallStart := time.Now()
+		defer func() {
+			an.mAnalyses.Inc()
+			an.hAnalWall.Observe(time.Since(wallStart).Seconds())
+			if an.tracer != nil {
+				an.tracer.Complete(obs.PIDProfiler, 2, "core",
+					"analyze "+kernelName, spanStart,
+					map[string]any{"level": an.Level, "tool": an.Registry.Tool()})
+			}
+		}()
+	}
 	ctx := &metrics.Context{Spec: an.Spec, Values: values}
 	eval := func(name string) float64 {
 		v, err := an.Registry.Eval(name, ctx)

@@ -13,8 +13,10 @@ package cupti
 
 import (
 	"fmt"
+	"time"
 
 	"gputopdown/internal/kernel"
+	"gputopdown/internal/obs"
 	"gputopdown/internal/pmu"
 	"gputopdown/internal/sim"
 	"gputopdown/internal/sm"
@@ -81,6 +83,22 @@ type Session struct {
 	// Overhead accounting (simulated device cycles).
 	nativeCycles   uint64
 	profiledCycles uint64
+
+	// Observability (nil/disabled by default; see SetObserver). Handles are
+	// created once so the replay hot path is allocation-free when disabled.
+	tracer     *obs.Tracer
+	obsOn      bool
+	mPasses    *obs.Counter
+	mFlushes   *obs.Counter
+	mFlushCyc  *obs.Counter
+	mNativeCyc *obs.Counter
+	mProfCyc   *obs.Counter
+	mSampled   *obs.Counter
+	mSkipped   *obs.Counter
+	mPassWall  *obs.Counter
+	hPassWall  *obs.Histogram
+	gOverhead  *obs.Gauge
+	gPassesPK  *obs.Gauge
 }
 
 // NewSession builds a profiling session for the requested counters.
@@ -97,6 +115,41 @@ func NewSession(dev *sim.Device, request []pmu.CounterID, mode Mode) (*Session, 
 		lastSampled: map[string]pmu.Values{},
 		invocations: map[string]int{},
 	}, nil
+}
+
+// SetObserver attaches an execution tracer and metrics registry to the
+// session and, through it, to the underlying device. Either may be nil.
+// The session emits spans for each profiled kernel, each replay pass and
+// each cache flush, and maintains the profiler self-metrics — including the
+// live replay_overhead_ratio that reproduces the paper's Fig. 13 accounting
+// from instrumentation rather than post-hoc arithmetic.
+func (s *Session) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
+	s.tracer = tr
+	s.obsOn = tr != nil || reg != nil
+	s.dev.SetObserver(tr, reg)
+	s.mPasses = reg.Counter("profiler_passes_total",
+		"Replay passes executed across all profiled kernel invocations.", nil)
+	s.mFlushes = reg.Counter("profiler_cache_flushes_total",
+		"Device cache flushes performed between replay passes.", nil)
+	s.mFlushCyc = reg.Counter("profiler_flush_cycles_total",
+		"Simulated cycles charged to inter-pass cache/memory flushes.", nil)
+	s.mNativeCyc = reg.Counter("profiler_native_cycles_total",
+		"Simulated cycles the application would take without profiling.", nil)
+	s.mProfCyc = reg.Counter("profiler_profiled_cycles_total",
+		"Simulated cycles including every replay pass and flush.", nil)
+	s.mSampled = reg.Counter("profiler_kernels_profiled_total",
+		"Kernel invocations fully profiled via multi-pass replay.", nil)
+	s.mSkipped = reg.Counter("profiler_kernels_skipped_total",
+		"Kernel invocations run natively under sampling (values inherited).", nil)
+	s.mPassWall = reg.Counter("profiler_pass_wall_seconds_total",
+		"Host wall-clock seconds spent executing replay passes.", nil)
+	s.hPassWall = reg.Histogram("profiler_pass_wall_seconds",
+		"Wall-clock duration of individual replay passes.", nil, nil)
+	s.gOverhead = reg.Gauge("profiler_replay_overhead_ratio",
+		"Live profiled/native simulated-cycle ratio (the paper's Fig. 13).", nil)
+	s.gPassesPK = reg.Gauge("profiler_passes_per_kernel",
+		"Replay passes the scheduled counter set requires per kernel.", nil)
+	s.gPassesPK.Set(float64(s.sched.NumPasses()))
 }
 
 // SetSampling makes the session fully profile only every n-th invocation of
@@ -148,14 +201,30 @@ func (s *Session) Profile(l *kernel.Launch) (*KernelRecord, error) {
 		Passes:  len(passes),
 		Sampled: true,
 	}
+	profStart := s.tracer.Now()
 	if len(passes) > 1 {
 		snap = s.dev.Storage.Snapshot()
 	}
 	for i, pass := range passes {
+		var passWall time.Time
+		passStart := s.tracer.Now()
+		if s.obsOn {
+			passWall = time.Now()
+		}
 		if i > 0 {
 			s.dev.Storage.Restore(snap)
 		}
+		flushStart := s.tracer.Now()
 		s.dev.FlushCaches()
+		fc := s.flushCycles()
+		if s.obsOn {
+			s.mFlushes.Inc()
+			s.mFlushCyc.Add(float64(fc))
+			if s.tracer != nil {
+				s.tracer.Complete(obs.PIDProfiler, 1, "cupti", "flush",
+					flushStart, map[string]any{"flush_cycles": fc})
+			}
+		}
 		res, err := s.dev.Launch(l)
 		if err != nil {
 			return nil, fmt.Errorf("cupti: pass %d of %s: %w", i, l.Program.Name, err)
@@ -166,20 +235,47 @@ func (s *Session) Profile(l *kernel.Launch) (*KernelRecord, error) {
 			rec.Cycles = res.Cycles
 			rec.SMsUsed = res.SMsUsed
 			s.nativeCycles += res.Cycles
+			s.mNativeCyc.Add(float64(res.Cycles))
 		}
-		s.profiledCycles += res.Cycles + s.flushCycles()
+		s.profiledCycles += res.Cycles + fc
+		if s.obsOn {
+			s.mProfCyc.Add(float64(res.Cycles) + float64(fc))
+			s.mPasses.Inc()
+			wall := time.Since(passWall).Seconds()
+			s.mPassWall.Add(wall)
+			s.hPassWall.Observe(wall)
+			if s.tracer != nil {
+				s.tracer.Complete(obs.PIDProfiler, 1, "cupti",
+					fmt.Sprintf("pass %d/%d", i+1, len(passes)), passStart,
+					map[string]any{"kernel": l.Program.Name, "cycles": res.Cycles})
+			}
+		}
 	}
 	rec.Values = values
 	rec.Invocation = s.invocations[rec.Kernel]
 	s.invocations[rec.Kernel]++
 	s.lastSampled[rec.Kernel] = values
 	s.records = append(s.records, *rec)
+	if s.obsOn {
+		s.mSampled.Inc()
+		if s.nativeCycles > 0 {
+			s.gOverhead.Set(float64(s.profiledCycles) / float64(s.nativeCycles))
+		}
+		if s.tracer != nil {
+			s.tracer.Complete(obs.PIDProfiler, 1, "cupti", "profile "+rec.Kernel,
+				profStart, map[string]any{
+					"passes": len(passes), "invocation": rec.Invocation,
+					"cycles": rec.Cycles, "mode": s.mode.String(),
+				})
+		}
+	}
 	return rec, nil
 }
 
 // profileSkipped runs an unsampled invocation once, natively, and reuses the
 // kernel's most recent sampled values.
 func (s *Session) profileSkipped(l *kernel.Launch, inv int) (*KernelRecord, error) {
+	skipStart := s.tracer.Now()
 	res, err := s.dev.Launch(l)
 	if err != nil {
 		return nil, fmt.Errorf("cupti: skipped invocation of %s: %w", l.Program.Name, err)
@@ -197,6 +293,18 @@ func (s *Session) profileSkipped(l *kernel.Launch, inv int) (*KernelRecord, erro
 	s.nativeCycles += res.Cycles
 	s.profiledCycles += res.Cycles
 	s.records = append(s.records, *rec)
+	if s.obsOn {
+		s.mSkipped.Inc()
+		s.mNativeCyc.Add(float64(res.Cycles))
+		s.mProfCyc.Add(float64(res.Cycles))
+		if s.nativeCycles > 0 {
+			s.gOverhead.Set(float64(s.profiledCycles) / float64(s.nativeCycles))
+		}
+		if s.tracer != nil {
+			s.tracer.Complete(obs.PIDProfiler, 1, "cupti", "native "+rec.Kernel,
+				skipStart, map[string]any{"invocation": inv, "cycles": res.Cycles})
+		}
+	}
 	return rec, nil
 }
 

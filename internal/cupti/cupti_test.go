@@ -1,11 +1,13 @@
 package cupti
 
 import (
+	"strings"
 	"testing"
 
 	"gputopdown/internal/gpu"
 	"gputopdown/internal/isa"
 	"gputopdown/internal/kernel"
+	"gputopdown/internal/obs"
 	"gputopdown/internal/pmu"
 	"gputopdown/internal/sim"
 	"gputopdown/internal/sm"
@@ -312,4 +314,113 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestSessionObserverSpansAndMetrics: a profiled invocation must emit one
+// profile span, one span and one flush per pass, and self-metrics that agree
+// exactly with the session's own Overhead() accounting.
+func TestSessionObserverSpansAndMetrics(t *testing.T) {
+	d := testDevice()
+	const n = 1024
+	buf := d.Alloc(n * 4)
+	d.Storage.WriteU32Slice(buf, make([]uint32, n))
+
+	s, err := NewSession(d, fullStallRequest(), ModeSMPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry()
+	s.SetObserver(tr, reg)
+
+	if _, err := s.Profile(launchInc(d, buf, n)); err != nil {
+		t.Fatal(err)
+	}
+
+	var profileSpans, passSpans, flushSpans, launchSpans int
+	for _, e := range tr.Events() {
+		if e.Ph != "X" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(e.Name, "profile "):
+			profileSpans++
+		case strings.HasPrefix(e.Name, "pass "):
+			passSpans++
+		case e.Name == "flush":
+			flushSpans++
+		case strings.HasPrefix(e.Name, "launch "):
+			launchSpans++
+		}
+	}
+	passes := s.NumPasses()
+	if profileSpans != 1 {
+		t.Errorf("profile spans = %d, want 1", profileSpans)
+	}
+	if passSpans != passes {
+		t.Errorf("pass spans = %d, want %d", passSpans, passes)
+	}
+	if flushSpans != passes {
+		t.Errorf("flush spans = %d, want %d", flushSpans, passes)
+	}
+	if launchSpans != passes {
+		t.Errorf("launch spans = %d, want %d", launchSpans, passes)
+	}
+
+	native, profiled := s.Overhead()
+	if got := reg.Counter("profiler_native_cycles_total", "", nil).Value(); got != float64(native) {
+		t.Errorf("profiler_native_cycles_total = %v, want %d", got, native)
+	}
+	if got := reg.Counter("profiler_profiled_cycles_total", "", nil).Value(); got != float64(profiled) {
+		t.Errorf("profiler_profiled_cycles_total = %v, want %d", got, profiled)
+	}
+	if got := reg.Counter("profiler_passes_total", "", nil).Value(); got != float64(passes) {
+		t.Errorf("profiler_passes_total = %v, want %d", got, passes)
+	}
+	wantRatio := float64(profiled) / float64(native)
+	if got := reg.Gauge("profiler_replay_overhead_ratio", "", nil).Value(); got != wantRatio {
+		t.Errorf("profiler_replay_overhead_ratio = %v, want %v", got, wantRatio)
+	}
+	if got := reg.Histogram("profiler_pass_wall_seconds", "", nil, nil).Count(); got != uint64(passes) {
+		t.Errorf("pass wall histogram count = %d, want %d", got, passes)
+	}
+}
+
+// TestSessionObserverSampling: skipped invocations must count as skipped and
+// emit native spans, not pass spans.
+func TestSessionObserverSampling(t *testing.T) {
+	d := testDevice()
+	const n = 1024
+	buf := d.Alloc(n * 4)
+	d.Storage.WriteU32Slice(buf, make([]uint32, n))
+
+	s, err := NewSession(d, fullStallRequest(), ModeSMPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSampling(2)
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry()
+	s.SetObserver(tr, reg)
+
+	for i := 0; i < 4; i++ {
+		if _, err := s.Profile(launchInc(d, buf, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("profiler_kernels_profiled_total", "", nil).Value(); got != 2 {
+		t.Errorf("profiled = %v, want 2", got)
+	}
+	if got := reg.Counter("profiler_kernels_skipped_total", "", nil).Value(); got != 2 {
+		t.Errorf("skipped = %v, want 2", got)
+	}
+	nativeSpans := 0
+	for _, e := range tr.Events() {
+		if e.Ph == "X" && strings.HasPrefix(e.Name, "native ") {
+			nativeSpans++
+		}
+	}
+	if nativeSpans != 2 {
+		t.Errorf("native spans = %d, want 2", nativeSpans)
+	}
 }

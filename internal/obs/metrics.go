@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labels is a metric's label set. Construct it only behind a nil-registry
+// guard on hot paths; better, create metric handles once at setup time and
+// call the (nil-safe, allocation-free) Add/Set/Observe methods afterwards.
+type Labels map[string]string
+
+// render produces the canonical `{k="v",...}` suffix (empty for no labels),
+// with keys sorted for a stable identity and exposition order.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// Counter is a monotonically increasing metric. Methods are no-ops on nil.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increases the counter by d (d < 0 is ignored).
+func (c *Counter) Add(d float64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total (0 for nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a metric that can go up and down. Methods are no-ops on nil.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram is a cumulative-bucket histogram. Methods are no-ops on nil.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []uint64  // len(bounds)+1, last is the +Inf bucket
+	sum     float64
+	samples uint64
+}
+
+// DefTimeBuckets are the default wall-time buckets in seconds.
+var DefTimeBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// series is one labelled time series inside a family.
+type series struct {
+	labels string // rendered label suffix
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	order  []string
+	series map[string]*series
+}
+
+// Registry holds metric families and renders Prometheus text exposition.
+// Lookup methods return nil metrics on a nil *Registry, so setup code can
+// unconditionally create handles and hot paths stay branch-light.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// family returns the named family, creating it with the given type, or
+// panics on a type clash (a programming error).
+func (r *Registry) family(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) get(labels Labels) *series {
+	key := labels.render()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns (creating if needed) the counter name{labels}.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, "counter").get(labels)
+	if s.ctr == nil {
+		s.ctr = &Counter{}
+	}
+	return s.ctr
+}
+
+// Gauge returns (creating if needed) the gauge name{labels}.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, "gauge").get(labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns (creating if needed) the histogram name{labels} with the
+// given ascending bucket upper bounds (nil means DefTimeBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefTimeBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, "histogram").get(labels)
+	if s.hist == nil {
+		bounds := make([]float64, len(buckets))
+		copy(bounds, buckets)
+		s.hist = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	}
+	return s.hist
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv(v)
+}
+
+func strconv(v float64) string {
+	// %g keeps integers clean (16 not 16.000000) and floats precise.
+	return fmt.Sprintf("%g", v)
+}
+
+// mergeLabels appends extra to a rendered label suffix.
+func mergeLabels(rendered, extraKey, extraVal string) string {
+	extra := extraKey + `="` + escapeLabel(extraVal) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// WriteProm writes every family in registration order in the Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: WriteProm on nil registry")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, name := range r.order {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, key := range f.order {
+			s := f.series[key]
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.ctr.Value()))
+			case "gauge":
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.gauge.Value()))
+			case "histogram":
+				h := s.hist
+				h.mu.Lock()
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+						f.name, mergeLabels(s.labels, "le", formatValue(bound)), cum)
+				}
+				cum += h.counts[len(h.bounds)]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					f.name, mergeLabels(s.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.labels, formatValue(h.sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, h.samples)
+				h.mu.Unlock()
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFile writes the Prometheus exposition to a file.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteProm(f)
+}

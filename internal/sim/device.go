@@ -11,10 +11,12 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"gputopdown/internal/gpu"
 	"gputopdown/internal/kernel"
 	"gputopdown/internal/mem"
+	"gputopdown/internal/obs"
 	"gputopdown/internal/sm"
 )
 
@@ -25,6 +27,11 @@ const DefaultMemBytes = 64 << 20
 
 // maxLaunchCycles guards against non-terminating kernels.
 const maxLaunchCycles = 10_000_000
+
+// residencySampleCycles is the stride, in simulated cycles, at which per-SM
+// block-residency counter samples are emitted onto the trace's simulated-time
+// track while tracing is enabled.
+const residencySampleCycles = 256
 
 // Device is one simulated GPU.
 type Device struct {
@@ -37,6 +44,19 @@ type Device struct {
 
 	launches      uint64
 	traceInterval uint64
+
+	// Observability (nil/disabled by default; see SetObserver). The metric
+	// handles are pre-created so the launch hot path only performs nil-safe
+	// method calls — zero allocations when observability is off.
+	tracer      *obs.Tracer
+	obsOn       bool
+	simCursorUS float64  // simulated-time cursor for the PIDSim track
+	smTracks    []string // precomputed per-SM counter-track names
+	mLaunches   *obs.Counter
+	mBlocks     *obs.Counter
+	mCycles     *obs.Counter
+	mWall       *obs.Counter
+	gThroughput *obs.Gauge
 }
 
 // NewDevice builds a device with the default memory size.
@@ -84,6 +104,43 @@ func (d *Device) FlushCaches() {
 func (d *Device) EnableTrace(interval uint64) {
 	d.traceInterval = interval
 }
+
+// DisableTrace stops intra-kernel timeline recording: subsequent launches
+// record no Trace samples. Symmetric to EnableTrace (equivalent to
+// EnableTrace(0)); the per-SM sample buffers are cleared at the next launch.
+func (d *Device) DisableTrace() {
+	d.traceInterval = 0
+}
+
+// SetObserver attaches an execution tracer and a metrics registry to the
+// device. Either may be nil; passing both nil detaches observability
+// entirely and restores the zero-overhead launch path. Metric handles are
+// created once here so per-launch accounting is allocation-free.
+func (d *Device) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
+	d.tracer = tr
+	d.obsOn = tr != nil || reg != nil
+	d.mLaunches = reg.Counter("sim_launches_total",
+		"Kernel launches executed on the simulated device.", nil)
+	d.mBlocks = reg.Counter("sim_blocks_dispatched_total",
+		"Thread blocks dispatched to SMs by the GigaThread engine model.", nil)
+	d.mCycles = reg.Counter("sim_cycles_total",
+		"Simulated device cycles executed across all launches.", nil)
+	d.mWall = reg.Counter("sim_wall_seconds_total",
+		"Host wall-clock seconds spent simulating kernel launches.", nil)
+	d.gThroughput = reg.Gauge("sim_throughput_cycles_per_second",
+		"Simulation speed: simulated cycles per wall-clock second.", nil)
+	if tr != nil {
+		tr.NameProcess(obs.PIDProfiler, "profiler (wall clock)")
+		tr.NameProcess(obs.PIDSim, "simulated GPU ("+d.Spec.Name+")")
+		d.smTracks = make([]string, len(d.SMs))
+		for i := range d.SMs {
+			d.smTracks[i] = fmt.Sprintf("SM%d resident blocks", i)
+		}
+	}
+}
+
+// Tracer returns the attached tracer (nil when detached).
+func (d *Device) Tracer() *obs.Tracer { return d.tracer }
 
 // ResetCounters zeroes every SM's counters.
 func (d *Device) ResetCounters() {
@@ -142,6 +199,15 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 	}
 	d.launches++
 
+	// Observability prologue: capture wall-clock and trace-clock starts.
+	// Guarded so the disabled path allocates nothing and costs ~one branch.
+	var wallStart time.Time
+	var spanStart float64
+	if d.obsOn {
+		wallStart = time.Now()
+		spanStart = d.tracer.Now()
+	}
+
 	// Materialise launch parameters in the constant bank, as the driver
 	// does before a CUDA launch, and invalidate the per-SM constant caches
 	// that may hold stale bank contents.
@@ -181,6 +247,7 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 	next := 0
 	used := make([]bool, len(d.SMs))
 	var guard uint64
+	blockDetail := d.tracer.BlockDetail()
 
 	for {
 		// Greedy block dispatch, round-robin across SMs for balance.
@@ -193,10 +260,24 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 				}
 				if s.CanAccept(l) {
 					s.LaunchBlock(l, ctaidOf(next, l.Grid), next)
+					if blockDetail {
+						d.tracer.Instant(obs.PIDSim, i, "dispatch", "block",
+							d.simCursorUS+obs.CyclesToUS(guard, d.Spec.ClockMHz),
+							map[string]any{"block": next, "sm": i})
+					}
 					used[i] = true
 					next++
 					progress = true
 				}
+			}
+		}
+
+		// Per-SM block-residency samples onto the simulated-time track.
+		if d.tracer != nil && guard%residencySampleCycles == 0 {
+			ts := d.simCursorUS + obs.CyclesToUS(guard, d.Spec.ClockMHz)
+			for i, s := range d.SMs {
+				d.tracer.CounterValue(obs.PIDSim, i, d.smTracks[i], "blocks",
+					ts, float64(s.ResidentBlocks()))
 			}
 		}
 
@@ -242,6 +323,30 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 				}
 				res.Trace[i].Add(&sample)
 			}
+		}
+	}
+
+	// Observability epilogue: spans on both time axes plus self-metrics.
+	if d.obsOn {
+		d.mLaunches.Inc()
+		d.mBlocks.Add(float64(nb))
+		d.mCycles.Add(float64(res.Cycles))
+		d.mWall.Add(time.Since(wallStart).Seconds())
+		if wall := d.mWall.Value(); wall > 0 {
+			d.gThroughput.Set(d.mCycles.Value() / wall)
+		}
+		if d.tracer != nil {
+			simDur := obs.CyclesToUS(res.Cycles, d.Spec.ClockMHz)
+			d.tracer.CompleteAt(obs.PIDSim, 0, "sim", l.Program.Name,
+				d.simCursorUS, simDur, map[string]any{
+					"blocks": nb, "cycles": res.Cycles, "sms_used": res.SMsUsed,
+					"grid": l.Grid.String(), "block": l.Block.String(),
+				})
+			d.simCursorUS += simDur
+			d.tracer.Complete(obs.PIDProfiler, 1, "sim", "launch "+l.Program.Name,
+				spanStart, map[string]any{
+					"cycles": res.Cycles, "blocks": nb, "sms_used": res.SMsUsed,
+				})
 		}
 	}
 	return res, nil

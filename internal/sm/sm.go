@@ -104,6 +104,11 @@ func (s *SM) SetLaunchContext(localBase uint64, totalThreads int) {
 // Busy reports whether any warp is resident.
 func (s *SM) Busy() bool { return s.residentWarps > 0 }
 
+// ResidentBlocks returns the number of thread blocks currently resident —
+// the per-SM occupancy signal the observability layer samples onto its
+// simulated-time trace track.
+func (s *SM) ResidentBlocks() int { return s.residentBlocks }
+
 // Cycle returns the SM's current cycle.
 func (s *SM) Cycle() uint64 { return s.cycle }
 

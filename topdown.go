@@ -24,11 +24,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"gputopdown/internal/core"
 	"gputopdown/internal/cupti"
 	"gputopdown/internal/gpu"
 	"gputopdown/internal/kernel"
+	"gputopdown/internal/obs"
 	"gputopdown/internal/pmu"
 	"gputopdown/internal/sim"
 	"gputopdown/internal/workloads"
@@ -97,6 +99,33 @@ func WithSampling(n int) Option { return func(p *Profiler) { p.sampleEvery = n }
 // [26]) and attaches it to each AppResult.
 func WithRoofline() Option { return func(p *Profiler) { p.roofline = true } }
 
+// Tracer is the execution tracer (Chrome trace-event JSON export); see
+// internal/obs. Create one with NewTracer.
+type Tracer = obs.Tracer
+
+// MetricsRegistry is the profiler self-metrics registry (Prometheus text
+// exposition); see internal/obs. Create one with NewMetricsRegistry.
+type MetricsRegistry = obs.Registry
+
+// NewTracer builds an execution tracer whose wall clock starts now.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithObserver attaches an execution tracer and/or a metrics registry to the
+// profiler: every profiling session, replay pass, cache flush, kernel launch
+// and Top-Down analysis becomes a span, and the profiler self-metrics
+// (passes, flush cycles, simulated cycles, wall time, replay overhead ratio,
+// sim throughput) are maintained live. Either argument may be nil. The cost
+// when no observer is attached is near zero.
+func WithObserver(tr *Tracer, reg *MetricsRegistry) Option {
+	return func(p *Profiler) {
+		p.tracer = tr
+		p.metrics = reg
+	}
+}
+
 // Profiler runs applications under Top-Down profiling on one GPU model.
 type Profiler struct {
 	spec        *gpu.Spec
@@ -106,6 +135,8 @@ type Profiler struct {
 	memBytes    int
 	sampleEvery int
 	roofline    bool
+	tracer      *obs.Tracer
+	metrics     *obs.Registry
 }
 
 // NewProfiler builds a profiler for a device model. The default is a
@@ -158,6 +189,8 @@ type AppResult struct {
 	// Fig. 13 overhead ratio.
 	NativeCycles   uint64
 	ProfiledCycles uint64
+	// WallSeconds is the host wall-clock time the profiled run took.
+	WallSeconds float64
 	// Roofline is the app-level instruction-roofline placement, present
 	// when the profiler was built WithRoofline.
 	Roofline *core.Roofline
@@ -220,6 +253,13 @@ func (p *Profiler) profileOn(dev *sim.Device, app *workloads.App) (*AppResult, e
 	if p.sampleEvery > 1 {
 		sess.SetSampling(p.sampleEvery)
 	}
+	obsOn := p.tracer != nil || p.metrics != nil
+	if obsOn {
+		sess.SetObserver(p.tracer, p.metrics)
+		analyzer.SetObserver(p.tracer, p.metrics)
+	}
+	sessStart := p.tracer.Now()
+	wallStart := time.Now()
 	res := &AppResult{App: app.Name, Suite: app.Suite, GPU: p.spec.Name, Passes: sess.NumPasses()}
 	err = app.Execute(dev, func(l *kernel.Launch) error {
 		rec, err := sess.Profile(l)
@@ -248,6 +288,19 @@ func (p *Profiler) profileOn(dev *sim.Device, app *workloads.App) (*AppResult, e
 	}
 	res.Aggregate = core.Aggregate(app.Name, analyses)
 	res.NativeCycles, res.ProfiledCycles = sess.Overhead()
+	res.WallSeconds = time.Since(wallStart).Seconds()
+	if obsOn {
+		if p.tracer != nil {
+			p.tracer.Complete(obs.PIDProfiler, 1, "session", "profile "+app.ID(),
+				sessStart, map[string]any{
+					"gpu": p.spec.Name, "kernels": len(res.Kernels),
+					"passes_per_kernel": res.Passes, "overhead": res.Overhead(),
+				})
+		}
+		p.metrics.Gauge("profiler_replay_overhead_ratio",
+			"Live profiled/native simulated-cycle ratio (the paper's Fig. 13).",
+			obs.Labels{"app": app.ID(), "gpu": p.spec.Name}).Set(res.Overhead())
+	}
 	if p.roofline {
 		total := pmu.Values{}
 		for _, rec := range sess.Records() {
@@ -276,6 +329,10 @@ func (p *Profiler) Timeline(app *workloads.App, kernelName string, invocation in
 	dev.EnableTrace(interval)
 	analyzer := core.NewAnalyzer(p.spec, p.level)
 	analyzer.Normalize = p.normalize
+	if p.tracer != nil || p.metrics != nil {
+		dev.SetObserver(p.tracer, p.metrics)
+		analyzer.SetObserver(p.tracer, p.metrics)
+	}
 	var points []TimelinePoint
 	seen := 0
 	err := app.Execute(dev, func(l *kernel.Launch) error {
