@@ -1,0 +1,231 @@
+package gputopdown
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/workloads"
+)
+
+func TestNewProfilerEValidation(t *testing.T) {
+	spec := QuadroRTX4000().WithSMs(4)
+	cases := []struct {
+		name string
+		spec *GPUSpec
+		opts []Option
+		ok   bool
+	}{
+		{"valid defaults", spec, nil, true},
+		{"valid full", spec, []Option{WithLevel(2), WithSampling(3), WithMemBytes(1 << 20), WithReplayWorkers(0), WithReplayCache(true)}, true},
+		{"nil spec", nil, nil, false},
+		{"level too low", spec, []Option{WithLevel(0)}, false},
+		{"level too high", spec, []Option{WithLevel(4)}, false},
+		{"negative sampling", spec, []Option{WithSampling(-1)}, false},
+		{"zero memory", spec, []Option{WithMemBytes(0)}, false},
+		{"negative memory", spec, []Option{WithMemBytes(-5)}, false},
+		{"negative workers", spec, []Option{WithReplayWorkers(-2)}, false},
+	}
+	for _, c := range cases {
+		p, err := NewProfilerE(c.spec, c.opts...)
+		if c.ok && (err != nil || p == nil) {
+			t.Errorf("%s: NewProfilerE = (%v, %v), want success", c.name, p, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: NewProfilerE accepted invalid options", c.name)
+		}
+	}
+	// NewProfiler documents clamping for the same inputs.
+	p := NewProfiler(spec, WithLevel(9), WithSampling(-3), WithMemBytes(-1), WithReplayWorkers(-4))
+	if p.Level() < 1 || p.Level() > 3 {
+		t.Errorf("clamped level = %d", p.Level())
+	}
+	if p.sampleEvery != 0 || p.memBytes <= 0 || p.replayWorkers != 1 {
+		t.Errorf("clamping left sampleEvery=%d memBytes=%d workers=%d",
+			p.sampleEvery, p.memBytes, p.replayWorkers)
+	}
+}
+
+func TestGetAppTypedErrors(t *testing.T) {
+	if _, err := GetApp("rodinia", "hotspot"); err != nil {
+		t.Fatalf("GetApp(rodinia, hotspot) = %v", err)
+	}
+	_, err := GetApp("nosuite", "hotspot")
+	if !errors.Is(err, ErrUnknownSuite) {
+		t.Fatalf("unknown suite error = %v, want ErrUnknownSuite", err)
+	}
+	_, err = GetApp("rodinia", "noapp")
+	if !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("unknown app error = %v, want ErrUnknownApp", err)
+	}
+	if _, err := NewProfiler(QuadroRTX4000().WithSMs(2)).ProfileSuite("nosuite"); !errors.Is(err, ErrUnknownSuite) {
+		t.Fatalf("ProfileSuite error = %v, want ErrUnknownSuite", err)
+	}
+}
+
+func TestProfileAppNoKernels(t *testing.T) {
+	empty := &App{Name: "empty", Suite: "test", Run: func(*workloads.RunCtx) error { return nil }}
+	_, err := testProfiler(1).ProfileApp(empty)
+	if !errors.Is(err, ErrNoKernels) {
+		t.Fatalf("empty app error = %v, want ErrNoKernels", err)
+	}
+}
+
+// TestProfileAppsJoinsErrors: a failing app mid-list must not abort the
+// others — every failure is aggregated via errors.Join and the successful
+// results are returned at their input positions.
+func TestProfileAppsJoinsErrors(t *testing.T) {
+	hotspot, _ := LookupApp("rodinia", "hotspot")
+	boomA := &App{Name: "boomA", Suite: "test", Run: func(*workloads.RunCtx) error { return fmt.Errorf("boom A") }}
+	boomB := &App{Name: "boomB", Suite: "test", Run: func(*workloads.RunCtx) error { return fmt.Errorf("boom B") }}
+	apps := []*App{boomA, hotspot, boomB}
+
+	results, err := testProfiler(1).ProfileApps(apps)
+	if err == nil {
+		t.Fatal("ProfileApps swallowed the failures")
+	}
+	for _, want := range []string{"test/boomA", "boom A", "test/boomB", "boom B"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %q", err, want)
+		}
+	}
+	if len(results) != 3 || results[0] != nil || results[2] != nil {
+		t.Fatalf("results = %v, want nil at failed indices", results)
+	}
+	if results[1] == nil || results[1].App != "hotspot" {
+		t.Fatalf("mid-list success missing: %+v", results[1])
+	}
+}
+
+func TestProfileAppsEdgeCases(t *testing.T) {
+	p := testProfiler(1)
+	// Empty list: no error, no results.
+	results, err := p.ProfileApps(nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty list = (%v, %v)", results, err)
+	}
+	// More workers than apps (NumCPU > 1 on CI runners): order preserved.
+	names := []string{"hotspot", "nw"}
+	var apps []*App
+	for _, n := range names {
+		a, _ := LookupApp("rodinia", n)
+		apps = append(apps, a)
+	}
+	results, err = p.ProfileApps(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.App != names[i] {
+			t.Errorf("results[%d] = %s, want %s (order lost)", i, r.App, names[i])
+		}
+	}
+}
+
+func TestProfileAppCtxCancellation(t *testing.T) {
+	app, _ := LookupApp("rodinia", "hotspot")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := testProfiler(1).ProfileAppCtx(ctx, app); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ProfileAppCtx = %v, want context.Canceled", err)
+	}
+	if _, err := testProfiler(1).ProfileAppsCtx(ctx, []*App{app}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ProfileAppsCtx = %v, want context.Canceled", err)
+	}
+	if _, err := testProfiler(1).TimelineCtx(ctx, app, "hotspot", 0, 1000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled TimelineCtx = %v, want context.Canceled", err)
+	}
+}
+
+func TestKernelErrorSurfacesThroughProfiler(t *testing.T) {
+	// An app whose kernel launch is invalid: the failure must surface as a
+	// *KernelError through every wrapping layer.
+	bad := &App{Name: "bad", Suite: "test", Run: func(ctx *workloads.RunCtx) error {
+		b := kernel.NewBuilder("badkernel")
+		b.Exit()
+		return ctx.Exec(&kernel.Launch{
+			Program: b.MustBuild(),
+			Grid:    kernel.Dim3{X: 1},
+			Block:   kernel.Dim3{X: 4 * kernel.MaxBlockThreads}, // invalid
+		})
+	}}
+	_, err := testProfiler(1).ProfileApp(bad)
+	if err == nil {
+		t.Fatal("invalid launch profiled without error")
+	}
+	var ke *KernelError
+	if !errors.As(err, &ke) {
+		t.Fatalf("error %v does not unwrap to *KernelError", err)
+	}
+	if ke.Kernel == "" {
+		t.Fatal("KernelError lost the kernel name")
+	}
+}
+
+// TestDeterminismAcrossReplayEngines is the acceptance gate for the
+// concurrent replay engine: for two apps on both evaluation GPUs, the full
+// AppResult — every counter-derived analysis value, pass count and cycle
+// total — must be bit-identical between the sequential/uncached profiler and
+// the maximally concurrent cached one. Only host wall-clock may differ.
+func TestDeterminismAcrossReplayEngines(t *testing.T) {
+	gpus := map[string]*GPUSpec{
+		"gtx1070": GTX1070().WithSMs(4),
+		"rtx4000": QuadroRTX4000().WithSMs(4),
+	}
+	apps := []string{"hotspot", "nw"}
+	for gname, spec := range gpus {
+		for _, aname := range apps {
+			app, ok := LookupApp("rodinia", aname)
+			if !ok {
+				t.Fatalf("missing app %s", aname)
+			}
+			base := NewProfiler(spec, WithLevel(3))
+			fast := NewProfiler(spec, WithLevel(3),
+				WithReplayWorkers(0), WithReplayCache(true))
+			want, err := base.ProfileApp(app)
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", gname, aname, err)
+			}
+			got, err := fast.ProfileApp(app)
+			if err != nil {
+				t.Fatalf("%s/%s concurrent: %v", gname, aname, err)
+			}
+			want.WallSeconds, got.WallSeconds = 0, 0
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s/%s: concurrent+cached profile diverged from sequential", gname, aname)
+			}
+		}
+	}
+}
+
+// TestDeterminismAutotuneCache pins the cache's hot path on the workload it
+// exists for: repeated byte-identical launches (a small GemmAutotune
+// instance). Every invocation's analysis, the pass count and the Fig. 13
+// cycle totals must match the sequential engine bit for bit even though all
+// but the first two invocations replay from the cache.
+func TestDeterminismAutotuneCache(t *testing.T) {
+	app := workloads.GemmAutotuneSized(64, 8)
+	spec := QuadroRTX4000().WithSMs(4)
+	base := NewProfiler(spec, WithLevel(3))
+	fast := NewProfiler(spec, WithLevel(3),
+		WithReplayWorkers(0), WithReplayCache(true))
+	want, err := base.ProfileApp(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fast.ProfileApp(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Kernels) != 8 {
+		t.Fatalf("got %d invocations, want 8", len(want.Kernels))
+	}
+	want.WallSeconds, got.WallSeconds = 0, 0
+	if !reflect.DeepEqual(want, got) {
+		t.Error("cached autotune profile diverged from sequential")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,6 +42,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write profiler self-metrics in Prometheus text format")
 	traceBlocks := flag.Bool("trace-blocks", false, "include per-block dispatch instants in the trace (voluminous)")
 	overhead := flag.Bool("overhead", false, "print a measured replay-overhead summary line")
+	replayWorkers := flag.Int("replay-workers", 1, "concurrent replay-pass workers per kernel (0 = all CPU cores, 1 = sequential)")
+	replayCache := flag.Bool("replay-cache", false, "memoize byte-identical kernel invocations instead of re-simulating them")
 	flag.Parse()
 
 	spec, ok := gpu.Lookup(*gpuID)
@@ -65,6 +68,11 @@ func main() {
 		fatalf("missing -app")
 	}
 	app, ok := workloads.Lookup(*suite, *appName)
+	if !ok && *suite == "altis" && *appName == "gemm_autotune" {
+		// Standalone workload: not in the suite list (it would skew the
+		// suite-average figures) but reachable by name for cache experiments.
+		app, ok = workloads.GemmAutotune(), true
+	}
 	if !ok {
 		fatalf("unknown app %s/%s", *suite, *appName)
 	}
@@ -90,6 +98,14 @@ func main() {
 	sess, err := cupti.NewSession(dev, request, mode)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	workers := *replayWorkers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	sess.SetWorkers(workers)
+	if *replayCache {
+		sess.SetCache(cupti.NewReplayCache(0))
 	}
 
 	var tracer *obs.Tracer
@@ -132,6 +148,11 @@ func main() {
 	native, profiled := sess.Overhead()
 	fmt.Printf("==PROF== native %d cycles, profiled %d cycles (%.1fx)\n",
 		native, profiled, float64(profiled)/float64(native))
+	if c := sess.Cache(); c != nil {
+		hits, misses := c.Stats()
+		fmt.Printf("==PROF== replay cache: %d hits, %d misses, %d entries\n",
+			hits, misses, c.Len())
+	}
 	if *overhead {
 		wall := time.Since(wallStart).Seconds()
 		throughput := 0.0

@@ -8,6 +8,7 @@
 //	topdown -gpu rtx4000 -suite rodinia -app srad_v2 -level 3
 //	topdown -gpu gtx1070 -suite altis -app gemm -level 2 -per-kernel
 //	topdown -gpu rtx4000 -dynamic              # per-invocation srad series
+//	topdown -gpu rtx4000 -autotune -replay-cache  # memoized autotune harness
 //	topdown -list                              # available apps
 package main
 
@@ -31,12 +32,15 @@ func main() {
 	perKernel := flag.Bool("per-kernel", false, "also print each kernel invocation")
 	format := flag.String("format", "text", "aggregate output format: text, csv or json")
 	dynamic := flag.Bool("dynamic", false, "run the 100-invocation srad dynamic analysis")
+	autotune := flag.Bool("autotune", false, "run the autotuning-harness workload (20 byte-identical GEMM launches; pairs with -replay-cache)")
 	compare := flag.Bool("compare", false, "run the app on both GPUs and print a side-by-side comparison")
 	list := flag.Bool("list", false, "list available devices and applications")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
 	metricsOut := flag.String("metrics-out", "", "write profiler self-metrics in Prometheus text format")
 	traceBlocks := flag.Bool("trace-blocks", false, "include per-block dispatch instants in the trace (voluminous)")
 	overhead := flag.Bool("overhead", false, "print a measured replay-overhead summary line per app")
+	replayWorkers := flag.Int("replay-workers", 1, "concurrent replay-pass workers per kernel (0 = all CPU cores, 1 = sequential)")
+	replayCache := flag.Bool("replay-cache", false, "memoize byte-identical kernel invocations instead of re-simulating them")
 	flag.Parse()
 
 	if *list {
@@ -88,18 +92,25 @@ func main() {
 	if tracer != nil || registry != nil {
 		opts = append(opts, gputopdown.WithObserver(tracer, registry))
 	}
-	p := gputopdown.NewProfiler(spec, opts...)
+	opts = append(opts, gputopdown.WithReplayWorkers(*replayWorkers),
+		gputopdown.WithReplayCache(*replayCache))
+	p, err := gputopdown.NewProfilerE(spec, opts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	var app *gputopdown.App
 	if *dynamic {
 		app = gputopdown.SradDynamic()
+	} else if *autotune {
+		app = gputopdown.GemmAutotune()
 	} else {
 		if *appName == "" {
 			fatalf("missing -app (try -list)")
 		}
-		app, ok = gputopdown.LookupApp(*suite, *appName)
-		if !ok {
-			fatalf("unknown app %s/%s (try -list)", *suite, *appName)
+		app, err = gputopdown.GetApp(*suite, *appName)
+		if err != nil {
+			fatalf("%v (try -list)", err)
 		}
 	}
 

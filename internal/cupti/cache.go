@@ -1,0 +1,133 @@
+// Replay result cache: deterministic memoization of byte-identical kernel
+// invocations.
+//
+// The device simulator is deterministic (internal/sim), so a kernel
+// invocation is fully determined by (program fingerprint, launch
+// configuration, device-memory snapshot hash, constant-bank hash) together
+// with the session's collection mode and pass schedule identity. When the
+// same key recurs — an autotuning harness replays the same configuration
+// with identical inputs tens of times × 8 passes (workloads.GemmAutotune
+// models this) — the session can skip
+// re-simulation entirely: it replays the recorded counter values, re-applies
+// the recorded memory effects, and still charges the full simulated
+// replay+flush cost to the Fig. 13 overhead accounting, so cached and
+// uncached sessions report bit-identical results.
+package cupti
+
+import (
+	"sync"
+
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/pmu"
+)
+
+// replayKey identifies a byte-identical kernel invocation under a fixed
+// collection mode and pass schedule.
+type replayKey struct {
+	// config folds the program fingerprint, grid/block geometry, dynamic
+	// shared memory and parameter values (kernel.Launch.ConfigHash).
+	config uint64
+	// mem hashes the allocation watermark plus all allocated device memory.
+	mem uint64
+	// konst hashes the constant bank (applications may rewrite __constant__
+	// data between launches).
+	konst uint64
+	// mode and sched pin the collection mechanism and the pass identity the
+	// cached merged values were produced under.
+	mode  Mode
+	sched uint64
+}
+
+// replayEntry is one memoized invocation: the merged counter readings, the
+// native duration, and the memory effects of running the kernel once.
+type replayEntry struct {
+	values  pmu.Values
+	cycles  uint64
+	smsUsed int
+	passes  int
+	// post is the device-memory snapshot after the kernel ran (same
+	// watermark as the pre-launch snapshot the key hashed).
+	post []byte
+}
+
+// DefaultReplayCacheEntries bounds the cache when NewReplayCache is given 0.
+const DefaultReplayCacheEntries = 1024
+
+// ReplayCache memoizes profiled kernel invocations. It is safe for
+// concurrent use by multiple sessions (ProfileApps fans apps across
+// goroutines); determinism is preserved because every entry is a pure
+// function of its key, so it does not matter which session populates it.
+// Eviction is FIFO with a fixed entry bound.
+type ReplayCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[replayKey]*replayEntry
+	order   []replayKey
+	hits    uint64
+	misses  uint64
+}
+
+// NewReplayCache builds a cache bounded to maxEntries invocations
+// (0 means DefaultReplayCacheEntries).
+func NewReplayCache(maxEntries int) *ReplayCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultReplayCacheEntries
+	}
+	return &ReplayCache{max: maxEntries, entries: map[replayKey]*replayEntry{}}
+}
+
+// get returns the entry for key, counting the hit or miss.
+func (c *ReplayCache) get(key replayKey) (*replayEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// put stores an entry, evicting the oldest when full. Racing puts for the
+// same key are idempotent by determinism; first writer wins.
+func (c *ReplayCache) put(key replayKey, e *replayEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+}
+
+// Len returns the number of cached invocations.
+func (c *ReplayCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the lifetime hit and miss counts.
+func (c *ReplayCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// keyFor derives the cache key of a launch against the session's current
+// device state. snap must be the current pre-launch memory snapshot.
+func (s *Session) keyFor(l *kernel.Launch, memHash uint64) replayKey {
+	return replayKey{
+		config: l.ConfigHash(),
+		mem:    memHash,
+		konst:  s.dev.Const.Hash(),
+		mode:   s.mode,
+		sched:  s.schedFP,
+	}
+}

@@ -1,0 +1,29 @@
+package cupti
+
+import "fmt"
+
+// KernelError is the structured failure of one kernel invocation under
+// profiling: which kernel, which replay pass, and the underlying cause. It is
+// re-exported by the root package so callers can errors.As on it regardless
+// of how many wrapping layers (workloads, profiler) the error crossed.
+type KernelError struct {
+	// Kernel is the failing kernel's name.
+	Kernel string
+	// Pass is the replay pass index (0-based) that failed. It is -1 when the
+	// failure was not tied to a specific pass (e.g. a skipped-sample native
+	// run under the §VII sampling mitigation).
+	Pass int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error, keeping the historical "cupti: pass i of k" shape.
+func (e *KernelError) Error() string {
+	if e.Pass < 0 {
+		return fmt.Sprintf("cupti: kernel %s: %v", e.Kernel, e.Err)
+	}
+	return fmt.Sprintf("cupti: pass %d of %s: %v", e.Pass, e.Kernel, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *KernelError) Unwrap() error { return e.Err }

@@ -1,0 +1,284 @@
+package cupti
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/obs"
+)
+
+// fillKernel stores a constant into every element of a buffer. It is
+// idempotent: from the second invocation on, the pre-launch device state is
+// byte-identical, which is what the replay result cache keys on.
+func fillKernel(v int64) *kernel.Program {
+	b := kernel.NewBuilder("fill")
+	buf := b.Param(0)
+	gid := b.GlobalIDX()
+	addr := b.IMad(gid, b.MovImm(4), buf)
+	b.Stg(addr, b.MovImm(v), 0, 4)
+	b.Exit()
+	return b.MustBuild()
+}
+
+func launchFill(buf uint64, n int) *kernel.Launch {
+	return &kernel.Launch{
+		Program: fillKernel(7),
+		Grid:    kernel.Dim3{X: n / 128},
+		Block:   kernel.Dim3{X: 128},
+		Params:  []uint64{buf},
+	}
+}
+
+// TestParallelReplayMatchesSequential is the tentpole contract: fanning the
+// scheduled passes across cloned devices must leave every reported bit —
+// counter values, cycles, SMs used, memory end-state, overhead accounting —
+// identical to the historical sequential engine.
+func TestParallelReplayMatchesSequential(t *testing.T) {
+	const n = 1024
+	run := func(workers int) (*KernelRecord, []uint32, uint64, uint64) {
+		d := testDevice()
+		buf := d.Alloc(n * 4)
+		d.Storage.WriteU32Slice(buf, make([]uint32, n))
+		s, err := NewSession(d, fullStallRequest(), ModeSMPC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetWorkers(workers)
+		var rec *KernelRecord
+		for i := 0; i < 3; i++ { // repeated mutating invocations
+			rec, err = s.Profile(launchInc(d, buf, n))
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+		}
+		native, profiled := s.Overhead()
+		return rec, d.Storage.ReadU32Slice(buf, n), native, profiled
+	}
+
+	seqRec, seqMem, seqNat, seqProf := run(1)
+	for _, w := range []int{2, 4, 16} {
+		rec, mem, nat, prof := run(w)
+		if !reflect.DeepEqual(rec, seqRec) {
+			t.Errorf("workers=%d: record diverged:\n  seq: %+v\n  par: %+v", w, seqRec, rec)
+		}
+		if !reflect.DeepEqual(mem, seqMem) {
+			t.Errorf("workers=%d: memory end-state diverged", w)
+		}
+		if nat != seqNat || prof != seqProf {
+			t.Errorf("workers=%d: overhead (%d,%d) != sequential (%d,%d)", w, nat, prof, seqNat, seqProf)
+		}
+	}
+}
+
+// TestParallelReplayCloneMetrics checks that the concurrent engine actually
+// ran passes on clones (it is easy to silently fall back to sequential).
+func TestParallelReplayCloneMetrics(t *testing.T) {
+	const n = 512
+	d := testDevice()
+	buf := d.Alloc(n * 4)
+	d.Storage.WriteU32Slice(buf, make([]uint32, n))
+	s, err := NewSession(d, fullStallRequest(), ModeSMPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.SetObserver(nil, reg)
+	s.SetWorkers(4)
+	if _, err := s.Profile(launchInc(d, buf, n)); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPasses() < 2 {
+		t.Fatalf("need a multi-pass schedule, got %d", s.NumPasses())
+	}
+	par := reg.Counter("profiler_parallel_passes_total", "", nil).Value()
+	if par == 0 {
+		t.Fatal("no pass ran on a cloned device under workers=4")
+	}
+	if got := reg.Gauge("profiler_replay_workers", "", nil).Value(); got != 4 {
+		t.Fatalf("workers gauge = %v, want 4", got)
+	}
+}
+
+// TestReplayCacheHitsAreBitIdentical profiles an idempotent kernel with and
+// without the cache: the cached session must hit from the third invocation
+// on (the second is the first with byte-identical pre-state) and report
+// exactly the same records and overhead totals as the uncached one.
+func TestReplayCacheHitsAreBitIdentical(t *testing.T) {
+	const n = 512
+	run := func(cache *ReplayCache) (*Session, []uint32) {
+		d := testDevice()
+		buf := d.Alloc(n * 4)
+		d.Storage.WriteU32Slice(buf, make([]uint32, n))
+		s, err := NewSession(d, fullStallRequest(), ModeSMPC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetCache(cache)
+		for i := 0; i < 5; i++ {
+			if _, err := s.Profile(launchFill(buf, n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s, d.Storage.ReadU32Slice(buf, n)
+	}
+
+	plain, plainMem := run(nil)
+	cache := NewReplayCache(0)
+	cached, cachedMem := run(cache)
+
+	hits, misses := cache.Stats()
+	// Invocation 0 runs on zeroed memory (miss), invocation 1 on the filled
+	// buffer (miss, new key), invocations 2..4 repeat invocation 1's bytes.
+	if hits != 3 || misses != 2 {
+		t.Fatalf("cache stats = %d hits / %d misses, want 3/2", hits, misses)
+	}
+	if !reflect.DeepEqual(cachedMem, plainMem) {
+		t.Fatal("cached run left different memory state")
+	}
+	pn, pp := plain.Overhead()
+	cn, cp := cached.Overhead()
+	if pn != cn || pp != cp {
+		t.Fatalf("cached overhead (%d,%d) != uncached (%d,%d)", cn, cp, pn, pp)
+	}
+	pr, cr := plain.Records(), cached.Records()
+	if len(pr) != len(cr) {
+		t.Fatalf("record counts differ: %d vs %d", len(pr), len(cr))
+	}
+	for i := range pr {
+		cri := cr[i]
+		wantCached := i >= 2
+		if cri.Cached != wantCached {
+			t.Errorf("record %d: Cached = %v, want %v", i, cri.Cached, wantCached)
+		}
+		cri.Cached = pr[i].Cached // identical except provenance
+		if !reflect.DeepEqual(pr[i], cri) {
+			t.Errorf("record %d diverged:\n  plain:  %+v\n  cached: %+v", i, pr[i], cr[i])
+		}
+	}
+}
+
+// TestReplayCacheKeyedOnMemory: a mutating kernel must never hit the cache
+// across invocations, because each invocation starts from different bytes.
+func TestReplayCacheKeyedOnMemory(t *testing.T) {
+	const n = 256
+	d := testDevice()
+	buf := d.Alloc(n * 4)
+	d.Storage.WriteU32Slice(buf, make([]uint32, n))
+	s, err := NewSession(d, fullStallRequest(), ModeSMPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCache(NewReplayCache(0))
+	for i := 0; i < 4; i++ {
+		if _, err := s.Profile(launchInc(d, buf, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := s.Cache().Stats()
+	if hits != 0 || misses != 4 {
+		t.Fatalf("mutating kernel: stats = %d hits / %d misses, want 0/4", hits, misses)
+	}
+	// And memory semantics survived the cache machinery.
+	for i, v := range d.Storage.ReadU32Slice(buf, n) {
+		if v != 4 {
+			t.Fatalf("buf[%d] = %d after 4 cached-miss runs, want 4", i, v)
+		}
+	}
+}
+
+// TestReplayCacheEviction bounds the cache FIFO.
+func TestReplayCacheEviction(t *testing.T) {
+	c := NewReplayCache(2)
+	for i := 0; i < 5; i++ {
+		c.put(replayKey{config: uint64(i)}, &replayEntry{})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want bound 2", c.Len())
+	}
+	if _, ok := c.get(replayKey{config: 4}); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if _, ok := c.get(replayKey{config: 0}); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+}
+
+// TestKernelErrorStructure: profiling failures surface as *KernelError with
+// the kernel name and pass index, reachable through errors.As.
+func TestKernelErrorStructure(t *testing.T) {
+	d := testDevice()
+	s, err := NewSession(d, fullStallRequest(), ModeSMPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := launchInc(d, d.Alloc(1024*4), 1024)
+	bad.Block = kernel.Dim3{X: 4 * kernel.MaxBlockThreads} // rejected by launch validation
+	_, err = s.Profile(bad)
+	if err == nil {
+		t.Fatal("invalid launch profiled without error")
+	}
+	var ke *KernelError
+	if !errors.As(err, &ke) {
+		t.Fatalf("error %v is not a *KernelError", err)
+	}
+	if ke.Kernel != "inc" || ke.Pass != 0 {
+		t.Fatalf("KernelError = {Kernel:%q Pass:%d}, want {inc 0}", ke.Kernel, ke.Pass)
+	}
+}
+
+// TestProfileCtxCancellation: a cancelled context stops the replay between
+// passes and surfaces ctx.Err through the KernelError chain.
+func TestProfileCtxCancellation(t *testing.T) {
+	d := testDevice()
+	const n = 512
+	buf := d.Alloc(n * 4)
+	d.Storage.WriteU32Slice(buf, make([]uint32, n))
+	s, err := NewSession(d, fullStallRequest(), ModeSMPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = s.ProfileCtx(ctx, launchInc(d, buf, n))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled profile returned %v, want context.Canceled", err)
+	}
+	var ke *KernelError
+	if !errors.As(err, &ke) {
+		t.Fatalf("cancellation not wrapped in KernelError: %v", err)
+	}
+	if len(s.Records()) != 0 {
+		t.Fatal("cancelled invocation left a record")
+	}
+}
+
+// TestSetObserverTracerOnly is the regression test for the nil-registry
+// hazard: attaching a tracer without a registry must neither panic at
+// SetObserver time nor during profiling, and spans must still be recorded.
+func TestSetObserverTracerOnly(t *testing.T) {
+	d := testDevice()
+	const n = 256
+	buf := d.Alloc(n * 4)
+	d.Storage.WriteU32Slice(buf, make([]uint32, n))
+	s, err := NewSession(d, fullStallRequest(), ModeSMPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	s.SetObserver(tr, nil) // must not create handles on a nil registry
+	s.SetWorkers(2)        // SetWorkers touches the workers gauge
+	if _, err := s.Profile(launchInc(d, buf, n)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("tracer-only observer recorded no spans")
+	}
+	// Flipping back to fully disabled must also be safe.
+	s.SetObserver(nil, nil)
+	if _, err := s.Profile(launchInc(d, buf, n)); err != nil {
+		t.Fatal(err)
+	}
+}

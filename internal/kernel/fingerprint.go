@@ -1,0 +1,94 @@
+package kernel
+
+// Program fingerprinting for the replay result cache (internal/cupti): two
+// programs with equal fingerprints are treated as the same code. The hash is
+// 64-bit FNV-1a over every semantic field of every instruction plus the
+// static resource requirements, so it is stable across process runs and
+// independent of pointer identity — rebuilding a kernel from the same builder
+// source yields the same fingerprint.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type fnvHash uint64
+
+func (h *fnvHash) mix(v uint64) {
+	x := uint64(*h)
+	for shift := 0; shift < 64; shift += 8 {
+		x ^= (v >> shift) & 0xFF
+		x *= fnvPrime
+	}
+	*h = fnvHash(x)
+}
+
+func (h *fnvHash) mixBool(b bool) {
+	if b {
+		h.mix(1)
+	} else {
+		h.mix(0)
+	}
+}
+
+func (h *fnvHash) mixString(s string) {
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= fnvPrime
+	}
+	*h = fnvHash(x)
+}
+
+// Fingerprint returns a content hash of the program: name, resource
+// requirements and the full instruction stream. It is what the replay cache
+// keys kernel identity on.
+func (p *Program) Fingerprint() uint64 {
+	h := fnvHash(fnvOffset)
+	h.mixString(p.Name)
+	h.mix(uint64(p.NumRegs))
+	h.mix(uint64(p.SharedBytes))
+	h.mix(uint64(p.LocalBytes))
+	h.mix(uint64(len(p.Instrs)))
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		h.mix(uint64(in.Op))
+		h.mix(uint64(in.Dst))
+		for _, s := range in.Srcs {
+			h.mix(uint64(s))
+		}
+		h.mix(uint64(in.Imm))
+		h.mix(uint64(in.Pred))
+		h.mixBool(in.PredNeg)
+		h.mix(uint64(in.PDst))
+		h.mix(uint64(in.Cmp))
+		h.mix(uint64(in.Mufu))
+		h.mix(uint64(in.Atom))
+		h.mix(uint64(in.Size))
+		h.mix(uint64(in.Target))
+		h.mix(uint64(in.Recon))
+	}
+	return uint64(h)
+}
+
+// ConfigHash returns a content hash of the launch configuration — geometry,
+// dynamic shared memory and parameter values — combined with the program
+// fingerprint. Together with the device memory and constant-bank hashes it
+// identifies a byte-identical kernel invocation.
+func (l *Launch) ConfigHash() uint64 {
+	h := fnvHash(fnvOffset)
+	h.mix(l.Program.Fingerprint())
+	g, b := l.Grid.Norm(), l.Block.Norm()
+	h.mix(uint64(g.X))
+	h.mix(uint64(g.Y))
+	h.mix(uint64(g.Z))
+	h.mix(uint64(b.X))
+	h.mix(uint64(b.Y))
+	h.mix(uint64(b.Z))
+	h.mix(uint64(l.DynamicSharedBytes))
+	h.mix(uint64(len(l.Params)))
+	for _, p := range l.Params {
+		h.mix(p)
+	}
+	return uint64(h)
+}

@@ -39,6 +39,31 @@ func (s *Storage) Alloc(n int) uint64 {
 // FreeAll releases every allocation (the data itself is retained).
 func (s *Storage) FreeAll() { s.next = s.base }
 
+// Size returns the total capacity in bytes.
+func (s *Storage) Size() int { return len(s.data) }
+
+// Clone returns an independent storage with the same capacity, watermark and
+// allocated contents. Bytes beyond the watermark are not copied (they are
+// unreachable until re-allocated), so cloning costs O(allocated), not
+// O(capacity) — what makes per-pass device cloning in the concurrent replay
+// engine affordable.
+func (s *Storage) Clone() *Storage {
+	c := &Storage{data: make([]byte, len(s.data)), next: s.next, base: s.base}
+	copy(c.data[s.base:s.next], s.data[s.base:s.next])
+	return c
+}
+
+// CopyFrom makes s's allocated state identical to src's: same watermark and
+// allocated contents. Capacities must match.
+func (s *Storage) CopyFrom(src *Storage) {
+	if len(s.data) != len(src.data) {
+		panic(fmt.Sprintf("mem: CopyFrom between storages of %d and %d bytes", len(s.data), len(src.data)))
+	}
+	s.next = src.next
+	s.base = src.base
+	copy(s.data[s.base:s.next], src.data[src.base:src.next])
+}
+
 // Snapshot copies the allocated region of device memory, so a profiler can
 // restore pre-kernel state between replay passes (as CUPTI's kernel replay
 // save/restore does).
@@ -54,6 +79,43 @@ func (s *Storage) Restore(snap []byte) {
 		panic(fmt.Sprintf("mem: restore of %d bytes against %d allocated", len(snap), s.next-s.base))
 	}
 	copy(s.data[s.base:s.next], snap)
+}
+
+// AdoptSnapshot installs snap as the entire allocated region, moving the
+// watermark to match. Unlike Restore it does not require the current
+// watermark to agree with the snapshot's, so a cloned device can be re-synced
+// to another device's state even after its own allocations diverged.
+func (s *Storage) AdoptSnapshot(snap []byte) {
+	n := s.base + uint64(len(snap))
+	if n > uint64(len(s.data)) {
+		panic(fmt.Sprintf("mem: adopt of %d bytes exceeds capacity %d", len(snap), len(s.data)))
+	}
+	s.next = n
+	copy(s.data[s.base:n], snap)
+}
+
+// fnv1aOffset and fnv1aPrime are the 64-bit FNV-1a parameters, used for the
+// cheap content hashes the replay result cache keys on.
+const (
+	fnv1aOffset = 14695981039346656037
+	fnv1aPrime  = 1099511628211
+)
+
+// HashAllocated returns a 64-bit FNV-1a hash of the allocation watermark and
+// the allocated contents — the "memory-snapshot hash" component of the replay
+// result cache key. Two storages with equal hashes hold (modulo hash
+// collisions) byte-identical reachable device memory.
+func (s *Storage) HashAllocated() uint64 {
+	h := uint64(fnv1aOffset)
+	for shift := 0; shift < 64; shift += 8 {
+		h ^= (s.next >> shift) & 0xFF
+		h *= fnv1aPrime
+	}
+	for _, b := range s.data[s.base:s.next] {
+		h ^= uint64(b)
+		h *= fnv1aPrime
+	}
+	return h
 }
 
 // Mark returns the current allocation watermark, to be restored by Release —
@@ -207,4 +269,31 @@ func (c *ConstantBank) Clear() {
 	for i := range c.data {
 		c.data[i] = 0
 	}
+}
+
+// Clone returns an independent copy of the bank.
+func (c *ConstantBank) Clone() *ConstantBank {
+	out := &ConstantBank{data: make([]byte, len(c.data))}
+	copy(out.data, c.data)
+	return out
+}
+
+// CopyFrom overwrites the bank with src's contents. Sizes must match.
+func (c *ConstantBank) CopyFrom(src *ConstantBank) {
+	if len(c.data) != len(src.data) {
+		panic(fmt.Sprintf("mem: constant CopyFrom between banks of %d and %d bytes", len(c.data), len(src.data)))
+	}
+	copy(c.data, src.data)
+}
+
+// Hash returns a 64-bit FNV-1a hash of the bank contents, the constant-space
+// component of the replay result cache key (applications may rewrite
+// __constant__ data between launches, e.g. kmeans centroids).
+func (c *ConstantBank) Hash() uint64 {
+	h := uint64(fnv1aOffset)
+	for _, b := range c.data {
+		h ^= uint64(b)
+		h *= fnv1aPrime
+	}
+	return h
 }

@@ -258,6 +258,33 @@ type Schedule struct {
 // NumPasses returns how many kernel replays the schedule needs.
 func (s *Schedule) NumPasses() int { return len(s.Passes) }
 
+// Fingerprint returns a 64-bit FNV-1a hash of the schedule's pass structure:
+// which counters are collected on which pass, in order. Two sessions whose
+// schedules share a fingerprint merge per-pass readings identically, which is
+// what lets the replay result cache be shared across sessions — cached merged
+// values are only valid under the same pass identity.
+func (s *Schedule) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (v >> shift) & 0xFF
+			h *= prime
+		}
+	}
+	mix(uint64(len(s.Passes)))
+	for _, pass := range s.Passes {
+		mix(uint64(len(pass)))
+		for _, id := range pass {
+			mix(uint64(id))
+		}
+	}
+	return h
+}
+
 // PassOf returns the pass index collecting the given counter, or -1.
 func (s *Schedule) PassOf(id CounterID) int {
 	for i, pass := range s.Passes {
@@ -345,4 +372,14 @@ func (v Values) Merge(pass []CounterID, c *sm.Counters) {
 	for _, id := range pass {
 		v[id] = Read(c, id)
 	}
+}
+
+// Clone returns an independent copy of v. The replay result cache hands the
+// same logical values to many kernel records; cloning keeps them isolated.
+func (v Values) Clone() Values {
+	out := make(Values, len(v))
+	for id, val := range v {
+		out[id] = val
+	}
+	return out
 }

@@ -69,10 +69,15 @@ func NewDeviceMem(spec *gpu.Spec, memBytes int) *Device {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
+	return assemble(spec, mem.NewStorage(memBytes), mem.NewConstantBank(spec.ConstBankSize))
+}
+
+// assemble wires SMs, L2 and DRAM around the given memory substrate.
+func assemble(spec *gpu.Spec, storage *mem.Storage, constBank *mem.ConstantBank) *Device {
 	d := &Device{
 		Spec:    spec,
-		Storage: mem.NewStorage(memBytes),
-		Const:   mem.NewConstantBank(spec.ConstBankSize),
+		Storage: storage,
+		Const:   constBank,
 		L2:      mem.NewCache("L2", spec.L2Size, spec.L2Ways, spec.LineSize, spec.SectorSize),
 		DRAM:    mem.NewDRAM(spec.DRAMLatency, spec.DRAMBytesPerCycle, spec.DRAMQueueDepth),
 	}
@@ -80,6 +85,33 @@ func NewDeviceMem(spec *gpu.Spec, memBytes int) *Device {
 		d.SMs = append(d.SMs, sm.New(spec, i, d.L2, d.DRAM, d.Storage, d.Const))
 	}
 	return d
+}
+
+// Clone builds an independent device with the same spec and byte-identical
+// global and constant memory, but fresh (idle, cold-cache, cycle-zero) SMs,
+// L2 and DRAM. Because the profiler flushes all caches and resets SM clocks
+// before every replay pass anyway, a launch on a clone is bit-identical to a
+// launch on the original after a Storage.Restore — the property the
+// concurrent replay engine (internal/cupti) relies on to fan passes out
+// across devices. Clone requires the device to be idle and does not carry
+// over observers; attach them explicitly if wanted.
+func (d *Device) Clone() *Device {
+	for i, s := range d.SMs {
+		if s.Busy() {
+			panic(fmt.Sprintf("sim: Clone of device with busy SM %d", i))
+		}
+	}
+	c := assemble(d.Spec, d.Storage.Clone(), d.Const.Clone())
+	c.traceInterval = d.traceInterval
+	return c
+}
+
+// SyncState re-synchronises a clone's global and constant memory to src's
+// current state (watermark included), so a pool of cloned devices can be
+// reused across kernel invocations whose allocations differ.
+func (d *Device) SyncState(src *Device) {
+	d.Storage.CopyFrom(src.Storage)
+	d.Const.CopyFrom(src.Const)
 }
 
 // Alloc reserves device global memory.

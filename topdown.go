@@ -21,6 +21,8 @@
 package gputopdown
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -69,6 +71,13 @@ func SuiteApps(suite string) []*App { return workloads.BySuite(suite) }
 // paper's per-invocation dynamic analysis (Figs. 11 and 12).
 func SradDynamic() *App { return workloads.SradDynamic() }
 
+// GemmAutotune returns an autotuning-harness workload: the same GEMM
+// configuration launched repeatedly with identical inputs, so from the
+// second repetition on every invocation is byte-identical. It is the
+// reference workload for the replay result cache (see WithReplayCache and
+// the BenchmarkReplay* family).
+func GemmAutotune() *App { return workloads.GemmAutotune() }
+
 // Option configures a Profiler.
 type Option func(*Profiler)
 
@@ -99,6 +108,24 @@ func WithSampling(n int) Option { return func(p *Profiler) { p.sampleEvery = n }
 // [26]) and attaches it to each AppResult.
 func WithRoofline() Option { return func(p *Profiler) { p.roofline = true } }
 
+// WithReplayWorkers sets the number of worker devices the replay engine may
+// fan one kernel's scheduled passes across. 1 (the default) keeps the
+// historical strictly sequential replay; n == 0 means one worker per CPU
+// core. Because every pass re-runs the deterministic simulator from the same
+// restored memory snapshot with cold caches, pass results are bit-identical
+// regardless of worker count (see DESIGN.md), and the merged counter values
+// are assembled in pass order.
+func WithReplayWorkers(n int) Option { return func(p *Profiler) { p.replayWorkers = n } }
+
+// WithReplayCache enables deterministic memoization of byte-identical kernel
+// invocations: when the same (program, launch configuration, device memory,
+// constant bank) recurs under the same pass schedule, the recorded counter
+// values and memory effects are replayed instead of re-simulating, while the
+// full replay cost is still charged to the Fig. 13 overhead accounting. The
+// cache is shared across every session the profiler creates (ProfileApps runs
+// apps concurrently; the cache is safe for that).
+func WithReplayCache(on bool) Option { return func(p *Profiler) { p.cacheOn = on } }
+
 // Tracer is the execution tracer (Chrome trace-event JSON export); see
 // internal/obs. Create one with NewTracer.
 type Tracer = obs.Tracer
@@ -128,31 +155,81 @@ func WithObserver(tr *Tracer, reg *MetricsRegistry) Option {
 
 // Profiler runs applications under Top-Down profiling on one GPU model.
 type Profiler struct {
-	spec        *gpu.Spec
-	level       int
-	normalize   bool
-	mode        cupti.Mode
-	memBytes    int
-	sampleEvery int
-	roofline    bool
-	tracer      *obs.Tracer
-	metrics     *obs.Registry
+	spec          *gpu.Spec
+	level         int
+	normalize     bool
+	mode          cupti.Mode
+	memBytes      int
+	sampleEvery   int
+	roofline      bool
+	replayWorkers int
+	cacheOn       bool
+	cache         *cupti.ReplayCache
+	tracer        *obs.Tracer
+	metrics       *obs.Registry
 }
 
 // NewProfiler builds a profiler for a device model. The default is a
-// normalised level-3 analysis with SMPC collection.
+// normalised level-3 analysis with SMPC collection and sequential replay.
+//
+// Out-of-range options are clamped rather than rejected: a level outside
+// 1..3 is capped by the analyzer, memBytes <= 0 falls back to the simulator
+// default, sampleEvery < 1 disables sampling, and replayWorkers < 0 becomes
+// sequential (1). Use NewProfilerE to have invalid options reported as
+// errors instead.
 func NewProfiler(spec *gpu.Spec, opts ...Option) *Profiler {
 	p := &Profiler{
-		spec:      spec,
-		level:     core.Level3,
-		normalize: true,
-		mode:      cupti.ModeSMPC,
-		memBytes:  sim.DefaultMemBytes,
+		spec:          spec,
+		level:         core.Level3,
+		normalize:     true,
+		mode:          cupti.ModeSMPC,
+		memBytes:      sim.DefaultMemBytes,
+		replayWorkers: 1,
 	}
 	for _, o := range opts {
 		o(p)
 	}
+	if p.memBytes <= 0 {
+		p.memBytes = sim.DefaultMemBytes
+	}
+	if p.sampleEvery < 0 {
+		p.sampleEvery = 0
+	}
+	if p.replayWorkers < 0 {
+		p.replayWorkers = 1
+	}
+	if p.cacheOn {
+		p.cache = cupti.NewReplayCache(0)
+	}
 	return p
+}
+
+// NewProfilerE is the validating variant of NewProfiler: instead of clamping
+// out-of-range options it rejects them, so configuration mistakes fail fast
+// at construction rather than silently changing behavior. It returns an
+// error when spec is nil, the level is outside 1..3, sampleEvery is
+// negative, memBytes is not positive, or replayWorkers is negative.
+func NewProfilerE(spec *gpu.Spec, opts ...Option) (*Profiler, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("gputopdown: nil GPU spec")
+	}
+	probe := &Profiler{level: core.Level3, memBytes: sim.DefaultMemBytes}
+	for _, o := range opts {
+		o(probe)
+	}
+	if probe.level < core.Level1 || probe.level > core.Level3 {
+		return nil, fmt.Errorf("gputopdown: analysis level %d outside 1..3", probe.level)
+	}
+	if probe.sampleEvery < 0 {
+		return nil, fmt.Errorf("gputopdown: negative sampling interval %d", probe.sampleEvery)
+	}
+	if probe.memBytes <= 0 {
+		return nil, fmt.Errorf("gputopdown: non-positive device memory size %d", probe.memBytes)
+	}
+	if probe.replayWorkers < 0 {
+		return nil, fmt.Errorf("gputopdown: negative replay worker count %d", probe.replayWorkers)
+	}
+	return NewProfiler(spec, opts...), nil
 }
 
 // Spec returns the profiler's device model.
@@ -230,13 +307,21 @@ func (r *AppResult) KernelNames() []string {
 }
 
 // ProfileApp runs one application on a fresh simulated device under the
-// profiler and returns its Top-Down results.
+// profiler and returns its Top-Down results. It is ProfileAppCtx with a
+// background context.
 func (p *Profiler) ProfileApp(app *workloads.App) (*AppResult, error) {
-	dev := sim.NewDeviceMem(p.spec, p.memBytes)
-	return p.profileOn(dev, app)
+	return p.ProfileAppCtx(context.Background(), app)
 }
 
-func (p *Profiler) profileOn(dev *sim.Device, app *workloads.App) (*AppResult, error) {
+// ProfileAppCtx is ProfileApp under a context: cancellation is checked
+// between kernel launches and between replay passes, so a profiled run stops
+// promptly (returning ctx.Err, wrapped) when ctx is cancelled.
+func (p *Profiler) ProfileAppCtx(ctx context.Context, app *workloads.App) (*AppResult, error) {
+	dev := sim.NewDeviceMem(p.spec, p.memBytes)
+	return p.profileOn(ctx, dev, app)
+}
+
+func (p *Profiler) profileOn(ctx context.Context, dev *sim.Device, app *workloads.App) (*AppResult, error) {
 	analyzer := core.NewAnalyzer(p.spec, p.level)
 	analyzer.Normalize = p.normalize
 	request, err := analyzer.CounterRequest()
@@ -253,6 +338,14 @@ func (p *Profiler) profileOn(dev *sim.Device, app *workloads.App) (*AppResult, e
 	if p.sampleEvery > 1 {
 		sess.SetSampling(p.sampleEvery)
 	}
+	workers := p.replayWorkers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	sess.SetWorkers(workers)
+	if p.cache != nil {
+		sess.SetCache(p.cache)
+	}
 	obsOn := p.tracer != nil || p.metrics != nil
 	if obsOn {
 		sess.SetObserver(p.tracer, p.metrics)
@@ -262,7 +355,10 @@ func (p *Profiler) profileOn(dev *sim.Device, app *workloads.App) (*AppResult, e
 	wallStart := time.Now()
 	res := &AppResult{App: app.Name, Suite: app.Suite, GPU: p.spec.Name, Passes: sess.NumPasses()}
 	err = app.Execute(dev, func(l *kernel.Launch) error {
-		rec, err := sess.Profile(l)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rec, err := sess.ProfileCtx(ctx, l)
 		if err != nil {
 			return err
 		}
@@ -280,7 +376,7 @@ func (p *Profiler) profileOn(dev *sim.Device, app *workloads.App) (*AppResult, e
 		return nil, err
 	}
 	if len(res.Kernels) == 0 {
-		return nil, fmt.Errorf("gputopdown: %s launched no kernels", app.ID())
+		return nil, fmt.Errorf("gputopdown: %s: %w", app.ID(), ErrNoKernels)
 	}
 	analyses := make([]*core.Analysis, len(res.Kernels))
 	for i := range res.Kernels {
@@ -322,6 +418,12 @@ type TimelinePoint = core.TimelinePoint
 // interval. This extends the paper's §V.D dynamic analysis below kernel
 // granularity (a simulator-side capability; see internal/core.AnalyzeTimeline).
 func (p *Profiler) Timeline(app *workloads.App, kernelName string, invocation int, interval uint64) ([]TimelinePoint, error) {
+	return p.TimelineCtx(context.Background(), app, kernelName, invocation, interval)
+}
+
+// TimelineCtx is Timeline under a context: cancellation is checked between
+// kernel launches of the native run.
+func (p *Profiler) TimelineCtx(ctx context.Context, app *workloads.App, kernelName string, invocation int, interval uint64) ([]TimelinePoint, error) {
 	if interval == 0 {
 		return nil, fmt.Errorf("gputopdown: zero timeline interval")
 	}
@@ -336,6 +438,9 @@ func (p *Profiler) Timeline(app *workloads.App, kernelName string, invocation in
 	var points []TimelinePoint
 	seen := 0
 	err := app.Execute(dev, func(l *kernel.Launch) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res, err := dev.Launch(l)
 		if err != nil {
 			return err
@@ -377,18 +482,35 @@ func (p *Profiler) RunNative(app *workloads.App) (uint64, error) {
 }
 
 // ProfileSuite profiles every app of a suite, each on its own fresh device,
-// fanning the independent apps across CPU cores. Results keep suite order;
-// the first error aborts.
+// fanning the independent apps across CPU cores. Results keep suite order.
+// An unknown suite reports ErrUnknownSuite.
 func (p *Profiler) ProfileSuite(suite string) ([]*AppResult, error) {
+	return p.ProfileSuiteCtx(context.Background(), suite)
+}
+
+// ProfileSuiteCtx is ProfileSuite under a context (see ProfileAppsCtx).
+func (p *Profiler) ProfileSuiteCtx(ctx context.Context, suite string) ([]*AppResult, error) {
 	apps := workloads.BySuite(suite)
 	if len(apps) == 0 {
-		return nil, fmt.Errorf("gputopdown: unknown suite %q", suite)
+		return nil, fmt.Errorf("gputopdown: suite %q: %w", suite, ErrUnknownSuite)
 	}
-	return p.ProfileApps(apps)
+	return p.ProfileAppsCtx(ctx, apps)
 }
 
 // ProfileApps profiles a list of apps concurrently (one fresh device each).
+// It is ProfileAppsCtx with a background context.
 func (p *Profiler) ProfileApps(apps []*workloads.App) ([]*AppResult, error) {
+	return p.ProfileAppsCtx(context.Background(), apps)
+}
+
+// ProfileAppsCtx profiles a list of apps concurrently, one fresh device
+// each, under a context. Unlike the historical first-error-wins behavior,
+// every app is attempted and all failures are aggregated with errors.Join,
+// each wrapped with its app id; the returned slice keeps input order and
+// holds the results of the apps that succeeded (nil at failed indices), so
+// partial progress is not discarded. Cancellation stops the remaining apps
+// and surfaces ctx.Err among the joined errors.
+func (p *Profiler) ProfileAppsCtx(ctx context.Context, apps []*workloads.App) ([]*AppResult, error) {
 	results := make([]*AppResult, len(apps))
 	errs := make([]error, len(apps))
 	workers := runtime.NumCPU()
@@ -405,19 +527,36 @@ func (p *Profiler) ProfileApps(apps []*workloads.App) ([]*AppResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = p.ProfileApp(apps[i])
+				results[i], errs[i] = p.ProfileAppCtx(ctx, apps[i])
 			}
 		}()
 	}
+	fed := 0
+feed:
 	for i := range apps {
-		jobs <- i
+		select {
+		case jobs <- i:
+			fed++
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("gputopdown: %s: %w", apps[i].ID(), err)
+			errs[i] = fmt.Errorf("gputopdown: %s: %w", apps[i].ID(), err)
 		}
+	}
+	if fed < len(apps) {
+		// Cancellation stopped the feed; the unfed apps never ran, so make
+		// sure ctx.Err is visible even if every started app happened to
+		// finish cleanly.
+		errs = append(errs, fmt.Errorf("gputopdown: %d of %d apps not profiled: %w",
+			len(apps)-fed, len(apps), ctx.Err()))
+	}
+	if err := errors.Join(errs...); err != nil {
+		return results, err
 	}
 	return results, nil
 }
