@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test bench-sim
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench-sim measures the fast-forward launch engine against the naive
+# cycle loop: the Go micro-benchmarks on the synthetic memory-bound kernel,
+# then benchsim on real suite applications (writing BENCH_sim.json and
+# failing if the memory-bound reference app regresses below the gate).
+BENCH_REF ?= altis/gups
+BENCH_REF_MIN ?= 1.0
+BENCH_REPS ?= 3
+
+bench-sim:
+	$(GO) test -run xxx -bench 'BenchmarkLaunch(Naive|FastForward)' -benchmem ./internal/sim/
+	$(GO) run ./cmd/benchsim -reps $(BENCH_REPS) -ref $(BENCH_REF) -ref-min $(BENCH_REF_MIN) -out BENCH_sim.json

@@ -1,0 +1,182 @@
+// Command benchsim measures the fast-forward launch engine against the
+// naive cycle-by-cycle loop on real suite applications, verifies that both
+// engines produce bit-identical results, and writes a machine-readable
+// report (BENCH_sim.json).
+//
+// The run fails (non-zero exit) when the memory-bound reference application
+// falls below the required speedup — the regression gate the CI bench smoke
+// job enforces.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"time"
+
+	"gputopdown/internal/gpu"
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/sim"
+	"gputopdown/internal/sm"
+	"gputopdown/internal/workloads"
+)
+
+// defaultApps spans the workload classes: the memory-latency-bound
+// reference (gups), a serialized solver (myocyte), streaming bandwidth
+// (triad), and a compute-bound worst case for the engine (maxflops).
+const defaultApps = "altis/gups,rodinia/myocyte,shoc/triad,altis/maxflops"
+
+type result struct {
+	GPU     string  `json:"gpu"`
+	Suite   string  `json:"suite"`
+	App     string  `json:"app"`
+	NaiveMS float64 `json:"naive_ms"`
+	FastMS  float64 `json:"ff_ms"`
+	Speedup float64 `json:"speedup"`
+	// Identical reports that the two engines produced bit-identical
+	// aggregate results (cycles and device counters over every launch).
+	Identical bool `json:"identical"`
+}
+
+type report struct {
+	GPU     string   `json:"gpu"`
+	Reps    int      `json:"reps"`
+	Ref     string   `json:"ref"`
+	RefMin  float64  `json:"ref_min_speedup"`
+	Results []result `json:"results"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// aggregate is everything a launch sequence observably produces, folded
+// into one comparable value.
+type aggregate struct {
+	Cycles   uint64
+	Counters sm.Counters
+	Launches int
+}
+
+// measure runs app once under the given engine, timing only the Launch
+// calls (host-side input generation is engine-independent).
+func measure(app *workloads.App, spec *gpu.Spec, ff bool) (time.Duration, aggregate) {
+	dev := sim.NewDevice(spec)
+	dev.SetFastForward(ff)
+	var agg aggregate
+	var simTime time.Duration
+	err := app.Execute(dev, func(l *kernel.Launch) error {
+		start := time.Now()
+		res, err := dev.Launch(l)
+		simTime += time.Since(start)
+		if err != nil {
+			return err
+		}
+		agg.Cycles += res.Cycles
+		agg.Counters.Add(&res.Counters)
+		agg.Launches++
+		return nil
+	})
+	if err != nil {
+		fatalf("%s: %v", app.ID(), err)
+	}
+	return simTime, agg
+}
+
+func main() {
+	gpuID := flag.String("gpu", "gtx1070", "device model: gtx1070 or rtx4000")
+	appList := flag.String("apps", defaultApps, "comma-separated suite/name pairs, or 'all' for every suite app")
+	reps := flag.Int("reps", 3, "repetitions per engine; engines are interleaved and the minimum is kept")
+	out := flag.String("out", "BENCH_sim.json", "output report path ('-' for stdout)")
+	ref := flag.String("ref", "altis/gups", "memory-bound reference app the speedup gate applies to")
+	refMin := flag.Float64("ref-min", 1.0, "minimum required speedup on the reference app")
+	flag.Parse()
+
+	spec, ok := gpu.Lookup(*gpuID)
+	if !ok {
+		fatalf("unknown GPU %q", *gpuID)
+	}
+
+	var apps []*workloads.App
+	if *appList == "all" {
+		for _, s := range workloads.Suites() {
+			apps = append(apps, workloads.BySuite(s)...)
+		}
+	} else {
+		for _, id := range strings.Split(*appList, ",") {
+			suite, name, ok := strings.Cut(strings.TrimSpace(id), "/")
+			if !ok {
+				fatalf("bad app id %q (want suite/name)", id)
+			}
+			a, ok := workloads.Lookup(suite, name)
+			if !ok {
+				fatalf("unknown app %s/%s", suite, name)
+			}
+			apps = append(apps, a)
+		}
+	}
+
+	rep := report{GPU: *gpuID, Reps: *reps, Ref: *ref, RefMin: *refMin}
+	gateFailed := false
+	refMeasured := false
+	for _, a := range apps {
+		var naive, fast time.Duration = 1 << 62, 1 << 62
+		var naiveAgg, fastAgg aggregate
+		// Interleave engines so slow drift in machine load hits both
+		// equally; keep the per-engine minimum.
+		for r := 0; r < *reps; r++ {
+			if d, g := measure(a, spec, false); d < naive {
+				naive, naiveAgg = d, g
+			}
+			if d, g := measure(a, spec, true); d < fast {
+				fast, fastAgg = d, g
+			}
+		}
+		res := result{
+			GPU:       *gpuID,
+			Suite:     a.Suite,
+			App:       a.Name,
+			NaiveMS:   float64(naive.Microseconds()) / 1000,
+			FastMS:    float64(fast.Microseconds()) / 1000,
+			Speedup:   float64(naive) / float64(fast),
+			Identical: reflect.DeepEqual(naiveAgg, fastAgg),
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-8s %-28s naive=%9.1fms ff=%9.1fms speedup=%5.2fx identical=%v\n",
+			*gpuID, a.ID(), res.NaiveMS, res.FastMS, res.Speedup, res.Identical)
+		if !res.Identical {
+			fmt.Fprintf(os.Stderr, "benchsim: %s: engines diverge (naive %+v, ff %+v)\n", a.ID(), naiveAgg, fastAgg)
+			gateFailed = true
+		}
+		if a.ID() == *ref {
+			refMeasured = true
+			if res.Speedup < *refMin {
+				fmt.Fprintf(os.Stderr, "benchsim: reference %s speedup %.2fx below required %.2fx\n",
+					a.ID(), res.Speedup, *refMin)
+				gateFailed = true
+			}
+		}
+	}
+	if !refMeasured {
+		fmt.Fprintf(os.Stderr, "benchsim: reference %s not in -apps; speedup gate did not run\n", *ref)
+		gateFailed = true
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("encode: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	if gateFailed {
+		os.Exit(1)
+	}
+}

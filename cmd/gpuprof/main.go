@@ -44,6 +44,7 @@ func main() {
 	overhead := flag.Bool("overhead", false, "print a measured replay-overhead summary line")
 	replayWorkers := flag.Int("replay-workers", 1, "concurrent replay-pass workers per kernel (0 = all CPU cores, 1 = sequential)")
 	replayCache := flag.Bool("replay-cache", false, "memoize byte-identical kernel invocations instead of re-simulating them")
+	ff := flag.Bool("ff", true, "fast-forward provably idle cycle spans (bit-identical results; -ff=false runs the naive cycle loop)")
 	flag.Parse()
 
 	spec, ok := gpu.Lookup(*gpuID)
@@ -91,6 +92,7 @@ func main() {
 	}
 
 	dev := sim.NewDevice(spec)
+	dev.SetFastForward(*ff)
 	mode := cupti.ModeSMPC
 	if *hwpm {
 		mode = cupti.ModeHWPM

@@ -41,6 +41,7 @@ func main() {
 	overhead := flag.Bool("overhead", false, "print a measured replay-overhead summary line per app")
 	replayWorkers := flag.Int("replay-workers", 1, "concurrent replay-pass workers per kernel (0 = all CPU cores, 1 = sequential)")
 	replayCache := flag.Bool("replay-cache", false, "memoize byte-identical kernel invocations instead of re-simulating them")
+	ff := flag.Bool("ff", true, "fast-forward provably idle cycle spans (bit-identical results; -ff=false runs the naive cycle loop)")
 	flag.Parse()
 
 	if *list {
@@ -93,7 +94,8 @@ func main() {
 		opts = append(opts, gputopdown.WithObserver(tracer, registry))
 	}
 	opts = append(opts, gputopdown.WithReplayWorkers(*replayWorkers),
-		gputopdown.WithReplayCache(*replayCache))
+		gputopdown.WithReplayCache(*replayCache),
+		gputopdown.WithFastForward(*ff))
 	p, err := gputopdown.NewProfilerE(spec, opts...)
 	if err != nil {
 		fatalf("%v", err)
@@ -115,7 +117,7 @@ func main() {
 	}
 
 	if *compare {
-		compareGPUs(app, *level, *sms, tracer, registry)
+		compareGPUs(app, *level, *sms, *ff, tracer, registry)
 		return
 	}
 
@@ -175,7 +177,7 @@ func printOverhead(res *gputopdown.AppResult) {
 // compareGPUs reproduces the paper's architecture-vs-architecture reading of
 // the hierarchy (§V.B): the same application on Pascal and Turing,
 // component by component.
-func compareGPUs(app *gputopdown.App, level, sms int, tracer *gputopdown.Tracer, registry *gputopdown.MetricsRegistry) {
+func compareGPUs(app *gputopdown.App, level, sms int, ff bool, tracer *gputopdown.Tracer, registry *gputopdown.MetricsRegistry) {
 	type row struct {
 		name string
 		pick func(a *gputopdown.Analysis) float64
@@ -197,7 +199,7 @@ func compareGPUs(app *gputopdown.App, level, sms int, tracer *gputopdown.Tracer,
 		if sms > 0 {
 			spec = spec.WithSMs(sms)
 		}
-		opts := []gputopdown.Option{gputopdown.WithLevel(level)}
+		opts := []gputopdown.Option{gputopdown.WithLevel(level), gputopdown.WithFastForward(ff)}
 		if tracer != nil || registry != nil {
 			opts = append(opts, gputopdown.WithObserver(tracer, registry))
 		}

@@ -38,9 +38,29 @@ type Cache struct {
 	ways       int
 	lineSize   uint64
 	sectorSize uint64
-	lines      []cacheLine // sets*ways, row-major by set
-	tick       uint64
-	stats      CacheStats
+	// Shift/mask fast path for the (overwhelmingly common) power-of-two
+	// geometry: lineShift/sectorShift replace the per-access divisions and
+	// setShift/setMask the set modulo. pow2 gates the fast path.
+	lineShift   uint
+	sectorShift uint
+	setShift    uint
+	setMask     uint64
+	pow2        bool
+	lines       []cacheLine // sets*ways, row-major by set
+	tick        uint64
+	stats       CacheStats
+}
+
+func log2u64(v uint64) (uint, bool) {
+	if v == 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s, true
 }
 
 // NewCache builds a cache of size bytes with the given associativity and
@@ -57,7 +77,7 @@ func NewCache(name string, size, ways, lineSize, sectorSize int) *Cache {
 	if sets < 1 {
 		sets = 1
 	}
-	return &Cache{
+	c := &Cache{
 		name:       name,
 		sets:       sets,
 		ways:       ways,
@@ -65,6 +85,28 @@ func NewCache(name string, size, ways, lineSize, sectorSize int) *Cache {
 		sectorSize: uint64(sectorSize),
 		lines:      make([]cacheLine, sets*ways),
 	}
+	ls, lok := log2u64(c.lineSize)
+	ss, sok := log2u64(c.sectorSize)
+	ts, setsOK := log2u64(uint64(sets))
+	if lok && sok && setsOK {
+		c.lineShift, c.sectorShift, c.setShift = ls, ss, ts
+		c.setMask = uint64(sets) - 1
+		c.pow2 = true
+	}
+	return c
+}
+
+// locate splits addr into (tag, set index, sector bit) per the cache
+// geometry.
+func (c *Cache) locate(addr uint64) (tag uint64, set int, sectorBit uint32) {
+	if c.pow2 {
+		lineAddr := addr >> c.lineShift
+		return lineAddr >> c.setShift, int(lineAddr & c.setMask),
+			uint32(1) << ((addr & (c.lineSize - 1)) >> c.sectorShift)
+	}
+	lineAddr := addr / c.lineSize
+	return lineAddr / uint64(c.sets), int(lineAddr % uint64(c.sets)),
+		uint32(1) << ((addr % c.lineSize) / c.sectorSize)
 }
 
 // Access looks up the sector containing addr, filling it on a miss, and
@@ -72,10 +114,7 @@ func NewCache(name string, size, ways, lineSize, sectorSize int) *Cache {
 func (c *Cache) Access(addr uint64) bool {
 	c.tick++
 	c.stats.Lookups++
-	lineAddr := addr / c.lineSize
-	tag := lineAddr / uint64(c.sets)
-	set := int(lineAddr % uint64(c.sets))
-	sectorBit := uint32(1) << ((addr % c.lineSize) / c.sectorSize)
+	tag, set, sectorBit := c.locate(addr)
 
 	base := set * c.ways
 	var victim, lruWay int
@@ -115,10 +154,7 @@ func (c *Cache) Access(addr uint64) bool {
 // Probe reports whether the sector containing addr is present without
 // modifying any state.
 func (c *Cache) Probe(addr uint64) bool {
-	lineAddr := addr / c.lineSize
-	tag := lineAddr / uint64(c.sets)
-	set := int(lineAddr % uint64(c.sets))
-	sectorBit := uint32(1) << ((addr % c.lineSize) / c.sectorSize)
+	tag, set, sectorBit := c.locate(addr)
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		ln := &c.lines[base+w]

@@ -18,8 +18,11 @@ type DRAM struct {
 
 	// bandFree is the cycle at which the data bus becomes free.
 	bandFree float64
-	// inflight holds completion cycles of queued requests, oldest first.
+	// inflight[head:] holds completion cycles of queued requests, oldest
+	// first. Drained entries advance head; the slice is compacted lazily so
+	// a drain is amortized O(1) instead of an O(n) copy per completion.
 	inflight []uint64
+	head     int
 	stats    DRAMStats
 }
 
@@ -35,19 +38,23 @@ func NewDRAM(latency int, bytesPerCycle float64, queueDepth int) *DRAM {
 }
 
 func (d *DRAM) drain(now uint64) {
-	i := 0
-	for i < len(d.inflight) && d.inflight[i] <= now {
-		i++
+	for d.head < len(d.inflight) && d.inflight[d.head] <= now {
+		d.head++
 	}
-	if i > 0 {
-		d.inflight = append(d.inflight[:0], d.inflight[i:]...)
+	if d.head == len(d.inflight) {
+		d.inflight = d.inflight[:0]
+		d.head = 0
+	} else if d.head > 64 && d.head*2 >= len(d.inflight) {
+		n := copy(d.inflight, d.inflight[d.head:])
+		d.inflight = d.inflight[:n]
+		d.head = 0
 	}
 }
 
 // Full reports whether the request queue is full at the given cycle.
 func (d *DRAM) Full(now uint64) bool {
 	d.drain(now)
-	if len(d.inflight) >= d.queueDepth {
+	if len(d.inflight)-d.head >= d.queueDepth {
 		d.stats.QueueRejects++
 		return true
 	}
@@ -79,6 +86,7 @@ func (d *DRAM) Stats() DRAMStats { return d.stats }
 func (d *DRAM) Reset() {
 	d.bandFree = 0
 	d.inflight = d.inflight[:0]
+	d.head = 0
 	d.stats = DRAMStats{}
 }
 
@@ -86,8 +94,11 @@ func (d *DRAM) Reset() {
 // their completion cycles. The SM front-ends use it for the LG, MIO and TEX
 // instruction queues: a full queue at issue time is a throttle stall.
 type TimedQueue struct {
-	depth   int
+	depth int
+	// pending[head:] holds live completion cycles, oldest first; drained
+	// entries advance head and the slice is compacted lazily (see DRAM).
 	pending []uint64
+	head    int
 }
 
 // NewTimedQueue builds a queue with the given depth.
@@ -96,28 +107,32 @@ func NewTimedQueue(depth int) *TimedQueue {
 }
 
 func (q *TimedQueue) drain(now uint64) {
-	i := 0
-	for i < len(q.pending) && q.pending[i] <= now {
-		i++
+	for q.head < len(q.pending) && q.pending[q.head] <= now {
+		q.head++
 	}
-	if i > 0 {
-		q.pending = append(q.pending[:0], q.pending[i:]...)
+	if q.head == len(q.pending) {
+		q.pending = q.pending[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 >= len(q.pending) {
+		n := copy(q.pending, q.pending[q.head:])
+		q.pending = q.pending[:n]
+		q.head = 0
 	}
 }
 
 // Full reports whether the queue has no free entry at cycle now.
 func (q *TimedQueue) Full(now uint64) bool {
 	q.drain(now)
-	return len(q.pending) >= q.depth
+	return len(q.pending)-q.head >= q.depth
 }
 
 // Push records an operation completing at cycle done. Entries must be pushed
 // in non-decreasing completion order (true for in-order pipes).
 func (q *TimedQueue) Push(done uint64) {
-	if n := len(q.pending); n > 0 && q.pending[n-1] > done {
+	if n := len(q.pending); n > q.head && q.pending[n-1] > done {
 		// Preserve sortedness even if a caller violates monotonicity.
 		i := n
-		for i > 0 && q.pending[i-1] > done {
+		for i > q.head && q.pending[i-1] > done {
 			i--
 		}
 		q.pending = append(q.pending, 0)
@@ -128,11 +143,21 @@ func (q *TimedQueue) Push(done uint64) {
 	q.pending = append(q.pending, done)
 }
 
+// NextCompletion returns the earliest pending completion cycle, or 0 when
+// the queue is empty. A full queue gains a free entry exactly at this
+// cycle, so it bounds how long a throttled warp stays throttled.
+func (q *TimedQueue) NextCompletion() uint64 {
+	if q.head == len(q.pending) {
+		return 0
+	}
+	return q.pending[q.head]
+}
+
 // Len returns the occupancy at cycle now.
 func (q *TimedQueue) Len(now uint64) int {
 	q.drain(now)
-	return len(q.pending)
+	return len(q.pending) - q.head
 }
 
 // Reset empties the queue.
-func (q *TimedQueue) Reset() { q.pending = q.pending[:0] }
+func (q *TimedQueue) Reset() { q.pending, q.head = q.pending[:0], 0 }

@@ -64,3 +64,31 @@ func benchLaunchReset(b *testing.B, tr *obs.Tracer, reg *obs.Registry) {
 func BenchmarkLaunchMetricsOnly(b *testing.B) {
 	benchLaunch(b, func(d *Device) { d.SetObserver(nil, obs.NewRegistry()) })
 }
+
+// The Naive/FastForward pair quantifies the event-driven engine's wall-clock
+// win on a memory-bound kernel (serialized DRAM-latency load chains — the
+// workload class the paper's case studies are dominated by). Results are
+// bit-identical between the two; only host time differs.
+
+func benchEngine(b *testing.B, fastForward bool) {
+	d := NewDevice(testSpec())
+	d.SetFastForward(fastForward)
+	l := memBoundLaunch(d, 32, 0)
+	d.MustLaunch(l) // warm up
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Launch(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLaunchNaive ticks every busy SM on every simulated cycle.
+func BenchmarkLaunchNaive(b *testing.B) {
+	benchEngine(b, false)
+}
+
+// BenchmarkLaunchFastForward jumps over provably idle cycle spans.
+func BenchmarkLaunchFastForward(b *testing.B) {
+	benchEngine(b, true)
+}

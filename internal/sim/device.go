@@ -45,6 +45,16 @@ type Device struct {
 	launches      uint64
 	traceInterval uint64
 
+	// fastForward enables the event-driven engine: when every busy SM
+	// reports a wakeup bound past the current cycle, Launch jumps all SM
+	// clocks to the device-wide minimum and bulk-accounts the skipped
+	// cycles (see sm.SM.NextWakeup/AdvanceTo). Results are bit-identical
+	// either way; only host wall-clock changes. On by default.
+	fastForward bool
+	// lastTicks counts the simulation-loop iterations of the most recent
+	// launch; with fast-forward on, Cycles - lastTicks cycles were skipped.
+	lastTicks uint64
+
 	// Observability (nil/disabled by default; see SetObserver). The metric
 	// handles are pre-created so the launch hot path only performs nil-safe
 	// method calls — zero allocations when observability is off.
@@ -75,11 +85,12 @@ func NewDeviceMem(spec *gpu.Spec, memBytes int) *Device {
 // assemble wires SMs, L2 and DRAM around the given memory substrate.
 func assemble(spec *gpu.Spec, storage *mem.Storage, constBank *mem.ConstantBank) *Device {
 	d := &Device{
-		Spec:    spec,
-		Storage: storage,
-		Const:   constBank,
-		L2:      mem.NewCache("L2", spec.L2Size, spec.L2Ways, spec.LineSize, spec.SectorSize),
-		DRAM:    mem.NewDRAM(spec.DRAMLatency, spec.DRAMBytesPerCycle, spec.DRAMQueueDepth),
+		Spec:        spec,
+		Storage:     storage,
+		Const:       constBank,
+		L2:          mem.NewCache("L2", spec.L2Size, spec.L2Ways, spec.LineSize, spec.SectorSize),
+		DRAM:        mem.NewDRAM(spec.DRAMLatency, spec.DRAMBytesPerCycle, spec.DRAMQueueDepth),
+		fastForward: true,
 	}
 	for i := 0; i < spec.SMs; i++ {
 		d.SMs = append(d.SMs, sm.New(spec, i, d.L2, d.DRAM, d.Storage, d.Const))
@@ -103,8 +114,22 @@ func (d *Device) Clone() *Device {
 	}
 	c := assemble(d.Spec, d.Storage.Clone(), d.Const.Clone())
 	c.traceInterval = d.traceInterval
+	c.fastForward = d.fastForward
 	return c
 }
+
+// SetFastForward toggles the event-driven fast-forward engine. It exists
+// as an escape hatch and as the baseline side of the cross-engine
+// equivalence tests; production code should leave it on.
+func (d *Device) SetFastForward(on bool) { d.fastForward = on }
+
+// FastForwardEnabled reports whether the fast-forward engine is active.
+func (d *Device) FastForwardEnabled() bool { return d.fastForward }
+
+// LastLaunchTicks returns how many per-cycle loop iterations the most
+// recent launch actually executed. The difference to the launch's Cycles is
+// the number of bulk-skipped cycles — the fast-forward engine's win.
+func (d *Device) LastLaunchTicks() uint64 { return d.lastTicks }
 
 // SyncState re-synchronises a clone's global and constant memory to src's
 // current state (watermark included), so a pool of cloned devices can be
@@ -279,7 +304,20 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 	next := 0
 	used := make([]bool, len(d.SMs))
 	var guard uint64
+	d.lastTicks = 0
 	blockDetail := d.tracer.BlockDetail()
+	// Residency samples ride the trace's simulated-time track; emit them
+	// only when tracing is actually enabled, not merely when a tracer is
+	// attached.
+	sampleResidency := d.tracer != nil && d.traceInterval > 0
+	// Dispatch dirty flags: the residency version at which each SM last
+	// rejected a block. CanAccept is a pure function of occupancy, so until
+	// the version moves the SM would keep rejecting — skip re-probing it.
+	const neverRejected = ^uint64(0)
+	rejected := make([]uint64, len(d.SMs))
+	for i := range rejected {
+		rejected[i] = neverRejected
+	}
 
 	for {
 		// Greedy block dispatch, round-robin across SMs for balance.
@@ -289,6 +327,9 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 			for i, s := range d.SMs {
 				if next >= nb {
 					break
+				}
+				if rejected[i] == s.ResidencyVersion() {
+					continue // occupancy unchanged since last rejection
 				}
 				if s.CanAccept(l) {
 					s.LaunchBlock(l, ctaidOf(next, l.Grid), next)
@@ -300,12 +341,14 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 					used[i] = true
 					next++
 					progress = true
+				} else {
+					rejected[i] = s.ResidencyVersion()
 				}
 			}
 		}
 
 		// Per-SM block-residency samples onto the simulated-time track.
-		if d.tracer != nil && guard%residencySampleCycles == 0 {
+		if sampleResidency && guard%residencySampleCycles == 0 {
 			ts := d.simCursorUS + obs.CyclesToUS(guard, d.Spec.ClockMHz)
 			for i, s := range d.SMs {
 				d.tracer.CounterValue(obs.PIDSim, i, d.smTracks[i], "blocks",
@@ -313,11 +356,41 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 			}
 		}
 
+		// Tick every busy SM whose clock has caught up with the device
+		// cycle. Under fast-forward, an SM whose tick came back quiescent
+		// (NextWakeup past its clock) is parked: its idle span is
+		// bulk-accounted immediately and the SM is left with its clock in
+		// the future, to be ticked again only when guard reaches it. This
+		// is safe out of lockstep because a quiescent tick mutates neither
+		// the SM nor the shared L2/DRAM — the naive loop's interleaving
+		// performs the same shared-state mutation sequence. minNext tracks
+		// the earliest cycle at which any busy SM must tick again.
 		busy := false
+		minNext := ^uint64(0)
 		for _, s := range d.SMs {
-			if s.Busy() {
+			if !s.Busy() {
+				continue
+			}
+			busy = true
+			c := s.Cycle()
+			if c <= guard {
 				s.Tick()
-				busy = true
+				d.lastTicks++
+				c = s.Cycle()
+				if d.fastForward {
+					if w := s.NextWakeup(); w > c {
+						// Cap runaway bounds (a deadlocked SM reports
+						// neverWake) so the cycle guard below still trips.
+						if w > maxLaunchCycles+2 {
+							w = maxLaunchCycles + 2
+						}
+						s.AdvanceTo(w)
+						c = w
+					}
+				}
+			}
+			if c < minNext {
+				minNext = c
 			}
 		}
 		if !busy {
@@ -327,6 +400,23 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 			return nil, fmt.Errorf("sim: kernel %s wedged with %d blocks undispatched", l.Program.Name, nb-next)
 		}
 		guard++
+		// When every busy SM is parked in the future, jump the device
+		// cycle straight to the earliest of their wakeups — capped at the
+		// next residency-sampling boundary so no sample is skipped.
+		// Dispatch needs no extra cap: a parked SM's occupancy is frozen
+		// (reaps happen only in ticks), so no pending block could have
+		// dispatched during the jumped span.
+		if d.fastForward && minNext > guard {
+			target := minNext
+			if sampleResidency {
+				if b := (guard + residencySampleCycles - 1) / residencySampleCycles * residencySampleCycles; b < target {
+					target = b
+				}
+			}
+			if target > guard {
+				guard = target
+			}
+		}
 		if guard > maxLaunchCycles {
 			return nil, fmt.Errorf("sim: kernel %s exceeded %d cycles (non-terminating?)", l.Program.Name, uint64(maxLaunchCycles))
 		}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"gputopdown/internal/kernel"
+)
+
+// memBoundLaunch builds a launch dominated by serialized global loads —
+// the workload class whose stall windows the fast-forward engine skips.
+func memBoundLaunch(d *Device, blocks, sharedBytes int) *kernel.Launch {
+	b := kernel.NewBuilder("memchain")
+	gid := b.GlobalIDX()
+	buf := b.Param(0)
+	addr := b.IMad(b.AndImm(gid, 1023), b.MovImm(4), buf)
+	acc := b.MovImm(0)
+	for i := 0; i < 3; i++ {
+		v := b.Ldg(addr, int64(i*4096), 4)
+		acc = b.IAdd(acc, v)
+	}
+	b.Stg(addr, acc, 0, 4)
+	b.Exit()
+	prog := b.MustBuild()
+	prog.SharedBytes = sharedBytes
+	mem := d.Alloc(64 * 1024)
+	return &kernel.Launch{
+		Program: prog,
+		Grid:    kernel.Dim3{X: blocks},
+		Block:   kernel.Dim3{X: 64},
+		Params:  []uint64{mem},
+	}
+}
+
+// TestFastForwardRetireMidSkipDispatch pins the dispatch interaction: each
+// block's shared-memory footprint fills an SM, so pending blocks can only
+// dispatch when a resident block retires — an event that must collapse the
+// fast-forward bound so the dispatcher runs at the exact retire cycle. The
+// whole run (cycles, counters, per-SM deltas) must match the naive loop.
+func TestFastForwardRetireMidSkipDispatch(t *testing.T) {
+	run := func(ff bool) *RunResult {
+		d := NewDevice(testSpec())
+		d.SetFastForward(ff)
+		// One block per SM at a time: 2 SMs, 8 blocks → 4 serialized waves.
+		return d.MustLaunch(memBoundLaunch(d, 8, d.Spec.SharedMemPerSM))
+	}
+	naive, fast := run(false), run(true)
+	if !reflect.DeepEqual(naive, fast) {
+		t.Fatalf("serialized-dispatch run diverges:\nnaive: cycles=%d %+v\nff:    cycles=%d %+v",
+			naive.Cycles, naive.Counters, fast.Cycles, fast.Counters)
+	}
+	if naive.Blocks != 8 || naive.SMsUsed != 2 {
+		t.Fatalf("unexpected shape: blocks=%d smsUsed=%d", naive.Blocks, naive.SMsUsed)
+	}
+}
+
+// TestFastForwardDefaultOn pins the default: new devices and their clones
+// run the fast-forward engine unless explicitly disabled.
+func TestFastForwardDefaultOn(t *testing.T) {
+	d := NewDevice(testSpec())
+	if !d.FastForwardEnabled() {
+		t.Error("new device does not default to fast-forward")
+	}
+	if !d.Clone().FastForwardEnabled() {
+		t.Error("clone lost the fast-forward flag")
+	}
+	d.SetFastForward(false)
+	if d.Clone().FastForwardEnabled() {
+		t.Error("clone of a naive-mode device re-enabled fast-forward")
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"gputopdown/internal/isa"
@@ -104,6 +105,49 @@ func TestFuzzDeterminism(t *testing.T) {
 		}
 		if a.InstIssued < a.InstExecuted {
 			t.Fatalf("seed %d: issued < executed", seed)
+		}
+	}
+}
+
+// TestFuzzEngineEquivalence diffs the naive and fast-forward engines on
+// randomly generated kernels: full RunResults (cycles, counters, per-SM
+// deltas, trace samples) must be bit-identical, with tracing both off and
+// on an interval chosen to land samples mid-skip.
+func TestFuzzEngineEquivalence(t *testing.T) {
+	const bufN = 1024
+	for trial := 0; trial < 16; trial++ {
+		seed := int64(4000 + trial)
+		prog := genProgram(rand.New(rand.NewSource(seed)), "fuzzff", bufN)
+		var traceInterval uint64
+		if trial%2 == 1 {
+			traceInterval = 32
+		}
+		run := func(fastForward bool) *RunResult {
+			d := NewDevice(testSpec())
+			d.SetFastForward(fastForward)
+			if traceInterval > 0 {
+				d.EnableTrace(traceInterval)
+			}
+			buf := d.Alloc(bufN * 4)
+			host := make([]uint32, bufN)
+			r := rand.New(rand.NewSource(seed))
+			for i := range host {
+				host[i] = uint32(r.Intn(1 << 20))
+			}
+			d.Storage.WriteU32Slice(buf, host)
+			l := &kernel.Launch{
+				Program: prog,
+				Grid:    kernel.Dim3{X: 5},
+				Block:   kernel.Dim3{X: 96},
+				Params:  []uint64{buf},
+			}
+			return d.MustLaunch(l)
+		}
+		naive := run(false)
+		ff := run(true)
+		if !reflect.DeepEqual(naive, ff) {
+			t.Fatalf("seed %d (trace=%d): engines diverge\nnaive: cycles=%d %+v\nff:    cycles=%d %+v",
+				seed, traceInterval, naive.Cycles, naive.Counters, ff.Cycles, ff.Counters)
 		}
 	}
 }

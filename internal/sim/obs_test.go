@@ -48,12 +48,13 @@ func TestDisableTraceStopsSamples(t *testing.T) {
 
 // TestObserverLaunchSpansAndMetrics: an attached observer must yield a
 // wall-clock launch span, a simulated-time kernel span, per-SM residency
-// counter samples, and consistent self-metrics.
+// counter samples (when tracing is enabled), and consistent self-metrics.
 func TestObserverLaunchSpansAndMetrics(t *testing.T) {
 	d := NewDevice(testSpec())
 	tr := obs.NewTracer()
 	reg := obs.NewRegistry()
 	d.SetObserver(tr, reg)
+	d.EnableTrace(64) // residency samples ride the simulated-time track
 
 	l := saxpyLaunch(d, 4096)
 	res := d.MustLaunch(l)
@@ -91,6 +92,22 @@ func TestObserverLaunchSpansAndMetrics(t *testing.T) {
 	}
 	if got := reg.Counter("sim_cycles_total", "", nil).Value(); got != float64(res.Cycles) {
 		t.Errorf("sim_cycles_total = %v, want %d", got, res.Cycles)
+	}
+}
+
+// TestResidencySamplesGatedOnTracing: with a tracer attached but tracing
+// disabled, launches must emit no per-SM residency counter samples — the
+// samples belong to the intra-kernel timeline, which is off.
+func TestResidencySamplesGatedOnTracing(t *testing.T) {
+	d := NewDevice(testSpec())
+	tr := obs.NewTracer()
+	d.SetObserver(tr, nil)
+
+	d.MustLaunch(saxpyLaunch(d, 4096))
+	for _, e := range tr.Events() {
+		if e.Ph == "C" && e.PID == obs.PIDSim {
+			t.Fatal("residency counter sample emitted with tracing disabled")
+		}
 	}
 }
 

@@ -48,6 +48,18 @@ type SM struct {
 	fetchBusy uint64
 	launchSeq uint64
 
+	// Fast-forward bookkeeping. nextWakeup is the bound computed by the
+	// most recent Tick: the earliest cycle at which the next Tick can do
+	// anything other than exactly repeat the last one (see NextWakeup).
+	// tickEvent is set by classify when it mutates cross-warp state
+	// (barrier release on warp death) and forces the bound to collapse to
+	// the current cycle. residencyVer counts resource-occupancy changes so
+	// the device's dispatcher can skip SMs whose last rejection is still
+	// current.
+	nextWakeup   uint64
+	tickEvent    bool
+	residencyVer uint64
+
 	// Launch-wide context for local-memory addressing, set by the device.
 	localBase    uint64
 	totalThreads int
@@ -55,6 +67,14 @@ type SM struct {
 	// Per-tick scratch buffers (no allocation in the cycle loop).
 	stateScratch [64]WarpState
 	candScratch  []int
+
+	// Quiet-span accounting snapshot, rebuilt by every Tick: how many
+	// resident warps sit in each state (by lastState), how many
+	// subpartitions have residents, and the total resident count. AdvanceTo
+	// replays these per-cycle deltas in O(states) instead of O(warps).
+	stateHist   [NumWarpStates]uint64
+	activeSubps uint64
+	histWarps   uint64
 
 	// Tracing: when traceInterval > 0 the SM snapshots a counter delta
 	// every traceInterval cycles, giving an intra-kernel timeline.
@@ -183,6 +203,10 @@ func (s *SM) LaunchBlock(l *kernel.Launch, ctaid [3]int64, blockLinear int) {
 	s.residentShared += l.SharedBytes()
 	s.ctr.BlocksLaunched++
 	s.ctr.WarpsLaunched += uint64(wpb)
+	s.residencyVer++
+	// New warps are immediately runnable; any previously computed
+	// fast-forward bound no longer holds.
+	s.nextWakeup = s.cycle
 }
 
 // checkBarrier releases a block's barrier when every live warp has arrived.
@@ -196,17 +220,24 @@ func (s *SM) checkBarrier(b *blockCtx) {
 	b.arrived = 0
 }
 
+// neverWake marks a warp with no self-contained wakeup bound (e.g. blocked
+// at a barrier: only another warp's arrival or death can release it, and
+// those are issue/tick events that collapse the bound anyway).
+const neverWake = ^uint64(0)
+
 // ensureFetched models the instruction supply: one line-fetch per SM per
 // cycle through the L1 instruction cache. It returns true when the warp's
-// next instruction is available in its instruction buffer.
-func (s *SM) ensureFetched(w *warp, pc int, now uint64) bool {
+// next instruction is available in its instruction buffer, and otherwise
+// the cycle at which this warp's fetch wait can end (port free or decode
+// complete).
+func (s *SM) ensureFetched(w *warp, pc int, now uint64) (bool, uint64) {
 	lineSize := uint64(s.spec.LineSize)
 	line := uint64(pc*s.spec.InstrBytes) / lineSize
 	if w.fetchedLine == line+1 {
-		return now >= w.ifetchReady
+		return now >= w.ifetchReady, w.ifetchReady
 	}
 	if s.fetchBusy > now {
-		return false // fetch port busy this cycle
+		return false, s.fetchBusy // fetch port busy this cycle
 	}
 	s.fetchBusy = now + uint64(s.spec.FetchCyclesPerLine)
 	w.fetchedLine = line + 1
@@ -217,15 +248,19 @@ func (s *SM) ensureFetched(w *warp, pc int, now uint64) bool {
 		s.ctr.ICacheMisses++
 		w.ifetchReady = now + uint64(s.spec.L2Latency)/2 + uint64(s.spec.DecodeDelay)
 	}
-	return false
+	return false, w.ifetchReady
 }
 
 // classify determines the warp's state this cycle. eligible is true only
-// when the warp could issue right now.
-func (s *SM) classify(sp *subpart, w *warp, now uint64) (state WarpState, eligible bool) {
+// when the warp could issue right now. For ineligible warps, wake is the
+// earliest cycle at which the warp's classification can change — until
+// then, re-running classify would return the same state and mutate
+// nothing. Bounds may be in the past (e.g. a drained store list); Tick
+// clamps them to now+1.
+func (s *SM) classify(sp *subpart, w *warp, now uint64) (state WarpState, eligible bool, wake uint64) {
 	// Fast path: still inside a known scoreboard-stall window.
 	if now < w.stallUntil {
-		return w.stallState, false
+		return w.stallState, false, w.stallUntil
 	}
 	w.syncStack()
 	if w.finished {
@@ -233,66 +268,70 @@ func (s *SM) classify(sp *subpart, w *warp, now uint64) (state WarpState, eligib
 			w.markDead()
 			w.block.liveWarps--
 			s.checkBarrier(w.block)
+			// The death may have released the block barrier, changing
+			// peers classified earlier this tick: force a normal tick.
+			s.tickEvent = true
 		}
-		return StateDrain, false
+		// Reaped by reapFinished at the last store's completion cycle.
+		return StateDrain, false, w.lastStoreDone()
 	}
 	if w.atBarrier {
-		return StateBarrier, false
+		return StateBarrier, false, neverWake
 	}
 	if w.membarPending {
 		if w.drainStores(now) > 0 || now < w.fenceUntil {
-			return StateMembar, false
+			return StateMembar, false, maxU64(w.lastStoreDone(), w.fenceUntil)
 		}
 		w.membarPending = false
 	}
 	if now < w.nextEligible {
-		return w.eligibleReason, false
+		return w.eligibleReason, false, w.nextEligible
 	}
 	pc := w.top().pc
 	if pc >= w.block.launch.Program.Len() {
 		panic(fmt.Sprintf("sm %d: warp %d ran past program end (kernel %s)", s.id, w.id, w.block.launch.Program.Name))
 	}
-	if !s.ensureFetched(w, pc, now) {
-		return StateNoInstruction, false
+	if ok, fwake := s.ensureFetched(w, pc, now); !ok {
+		return StateNoInstruction, false, fwake
 	}
 	in := &w.block.launch.Program.Instrs[pc]
 	if ready, kind := w.scoreboardBlock(in); ready > now {
 		st := kind.stallState()
 		w.stallUntil = ready
 		w.stallState = st
-		return st, false
+		return st, false, ready
 	}
 	if now < sp.dispatchFree {
-		return StateDispatchStall, false
+		return StateDispatchStall, false, sp.dispatchFree
 	}
 	info := in.Op.Info()
 	if sp.pipeFree[info.Pipe] > now {
 		switch info.Pipe {
 		case isa.PipeLSU:
-			return StateLGThrottle, false
+			return StateLGThrottle, false, sp.pipeFree[info.Pipe]
 		case isa.PipeMIO:
-			return StateMIOThrottle, false
+			return StateMIOThrottle, false, sp.pipeFree[info.Pipe]
 		case isa.PipeTEX:
-			return StateTEXThrottle, false
+			return StateTEXThrottle, false, sp.pipeFree[info.Pipe]
 		default:
-			return StateMathPipeThrottle, false
+			return StateMathPipeThrottle, false, sp.pipeFree[info.Pipe]
 		}
 	}
 	switch info.Pipe {
 	case isa.PipeLSU:
 		if in.Op != isa.OpLDC && sp.lgQueue.Full(now) {
-			return StateLGThrottle, false
+			return StateLGThrottle, false, sp.lgQueue.NextCompletion()
 		}
 	case isa.PipeMIO:
 		if sp.mioQueue.Full(now) {
-			return StateMIOThrottle, false
+			return StateMIOThrottle, false, sp.mioQueue.NextCompletion()
 		}
 	case isa.PipeTEX:
 		if sp.texQueue.Full(now) {
-			return StateTEXThrottle, false
+			return StateTEXThrottle, false, sp.texQueue.NextCompletion()
 		}
 	}
-	return StateSelected, true
+	return StateSelected, true, now
 }
 
 // pick selects one eligible warp per the spec's scheduling policy.
@@ -330,11 +369,16 @@ func (s *SM) pick(sp *subpart, candidates []int) int {
 	return best
 }
 
-// Tick advances the SM one cycle.
+// Tick advances the SM one cycle and recomputes the fast-forward bound
+// (see NextWakeup).
 func (s *SM) Tick() {
 	now := s.cycle
 	s.ctr.ElapsedCycles++
 	activeWarps := 0
+	quiet := true     // no issue, reap or cross-warp event this tick
+	wake := neverWake // min over ineligible warps' wakeup bounds
+	s.stateHist = [NumWarpStates]uint64{}
+	s.activeSubps = 0
 
 	for _, sp := range s.subparts {
 		candidates := s.candScratch[:0]
@@ -344,10 +388,17 @@ func (s *SM) Tick() {
 				continue
 			}
 			activeWarps++
-			st, eligible := s.classify(sp, w, now)
+			st, eligible, wb := s.classify(sp, w, now)
 			states[slot] = st
 			if eligible {
 				candidates = append(candidates, slot)
+			} else {
+				if wb <= now {
+					wb = now + 1
+				}
+				if wb < wake {
+					wake = wb
+				}
 			}
 		}
 		winner := s.pick(sp, candidates)
@@ -355,43 +406,110 @@ func (s *SM) Tick() {
 			if w == nil {
 				continue
 			}
-			if slot == winner {
-				s.ctr.WarpStateCycles[StateSelected]++
-				continue
-			}
 			st := states[slot]
-			if st == StateSelected {
+			if slot == winner {
+				st = StateSelected
+			} else if st == StateSelected {
 				st = StateNotSelected // eligible but not picked
 			}
 			s.ctr.WarpStateCycles[st]++
+			s.stateHist[st]++
+			w.lastState = st
 		}
 		if winner >= 0 {
 			s.issue(sp, sp.warps[winner], now)
 			sp.lastIssued = winner
+			quiet = false
 		}
 		s.candScratch = candidates[:0]
 		if sp.resident() > 0 {
 			s.ctr.SubpActiveCycles++
+			s.activeSubps++
 		}
 	}
 
+	s.histWarps = uint64(activeWarps)
 	s.ctr.ActiveWarpCycles += uint64(activeWarps)
 	if activeWarps > 0 {
 		s.ctr.ActiveCycles++
 	}
 
-	s.reapFinished(now)
+	if s.reapFinished(now) {
+		quiet = false
+	}
+	if s.tickEvent {
+		s.tickEvent = false
+		quiet = false
+	}
 	s.cycle++
 	if s.traceInterval > 0 && s.cycle%s.traceInterval == 0 {
 		cur := s.Counters()
 		s.traceSamples = append(s.traceSamples, cur.Sub(&s.traceBase))
 		s.traceBase = cur
 	}
+
+	if !quiet || wake <= s.cycle {
+		s.nextWakeup = s.cycle
+		return
+	}
+	if s.traceInterval > 0 {
+		// The tick that lands one cycle before a sample boundary emits the
+		// sample (cycle becomes a multiple of the interval after its
+		// increment); keep that tick in the normal path so the snapshot is
+		// taken exactly where the naive loop takes it.
+		if b := (s.cycle/s.traceInterval+1)*s.traceInterval - 1; b < wake {
+			wake = b
+		}
+	}
+	s.nextWakeup = wake
 }
 
+// NextWakeup returns the bound computed by the most recent Tick: the
+// earliest cycle at which the next Tick can differ from an exact repeat of
+// the last one. When the last tick issued an instruction, reaped a warp or
+// released a barrier, the bound is simply the current cycle (no skip).
+// Otherwise every resident warp is blocked with a known release cycle and
+// re-running Tick before the minimum of those would increment exactly the
+// same counters by exactly the same amounts — which is what AdvanceTo does
+// in O(warps) instead.
+func (s *SM) NextWakeup() uint64 { return s.nextWakeup }
+
+// AdvanceTo bulk-accounts the cycles [s.cycle, target) as exact repeats of
+// the last tick and jumps the clock to target. Only legal up to the bound
+// reported by NextWakeup; the panic guards the bit-identity invariant.
+func (s *SM) AdvanceTo(target uint64) {
+	if target <= s.cycle {
+		return
+	}
+	if target > s.nextWakeup {
+		panic(fmt.Sprintf("sm %d: AdvanceTo(%d) beyond wakeup bound %d", s.id, target, s.nextWakeup))
+	}
+	n := target - s.cycle
+	for st, c := range s.stateHist {
+		if c > 0 {
+			s.ctr.WarpStateCycles[st] += n * c
+		}
+	}
+	s.ctr.SubpActiveCycles += n * s.activeSubps
+	s.ctr.ElapsedCycles += n
+	s.ctr.ActiveWarpCycles += n * s.histWarps
+	if s.histWarps > 0 {
+		s.ctr.ActiveCycles += n
+	}
+	s.cycle = target
+}
+
+// ResidencyVersion increments whenever the SM's resource occupancy changes
+// (block launched or warp reaped). The device's dispatcher uses it as a
+// dirty flag: an SM that rejected a block keeps rejecting it until the
+// version moves, because CanAccept is a pure function of occupancy.
+func (s *SM) ResidencyVersion() uint64 { return s.residencyVer }
+
 // reapFinished frees warps whose threads have all exited and whose stores
-// have drained, and retires completed blocks.
-func (s *SM) reapFinished(now uint64) {
+// have drained, and retires completed blocks. Returns whether anything was
+// freed (a residency event that invalidates fast-forward bounds).
+func (s *SM) reapFinished(now uint64) bool {
+	reaped := false
 	for _, sp := range s.subparts {
 		for slot, w := range sp.warps {
 			if w == nil || !w.finished {
@@ -404,12 +522,15 @@ func (s *SM) reapFinished(now uint64) {
 			s.residentWarps--
 			s.residentThreads -= int(popcount(w.members))
 			s.residentRegs -= len(w.regs) * int(popcount(w.members))
+			s.residencyVer++
+			reaped = true
 			w.block.remaining--
 			if w.block.remaining == 0 {
 				s.retireBlock(w.block)
 			}
 		}
 	}
+	return reaped
 }
 
 func (s *SM) retireBlock(b *blockCtx) {
@@ -486,6 +607,8 @@ func (s *SM) ResetClock() {
 	}
 	s.cycle = 0
 	s.fetchBusy = 0
+	s.nextWakeup = 0
+	s.tickEvent = false
 	for _, sp := range s.subparts {
 		sp.pipeFree = [isa.NumPipes]uint64{}
 		sp.dispatchFree = 0

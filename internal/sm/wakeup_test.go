@@ -1,0 +1,205 @@
+package sm
+
+import (
+	"testing"
+
+	"gputopdown/internal/gpu"
+	"gputopdown/internal/isa"
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/mem"
+)
+
+// testSMBacked builds a single SM whose storage has a mapped scratch region
+// covering the addresses the wakeup-test kernels touch.
+func testSMBacked() *SM {
+	spec := gpu.QuadroRTX4000().WithSMs(1)
+	l2 := mem.NewCache("L2", spec.L2Size, spec.L2Ways, spec.LineSize, spec.SectorSize)
+	dram := mem.NewDRAM(spec.DRAMLatency, spec.DRAMBytesPerCycle, spec.DRAMQueueDepth)
+	st := mem.NewStorage(1 << 20)
+	st.Alloc(1 << 19) // map the low half; kernels address well below this
+	cb := mem.NewConstantBank(spec.ConstBankSize)
+	return New(spec, 0, l2, dram, st, cb)
+}
+
+// smRun drives one SM to completion on a single block. When ff is true it
+// jumps to NextWakeup whenever the bound allows, exactly as Device.Launch
+// does; skips counts the jump windows taken.
+type smRun struct {
+	ctr     Counters
+	cycles  uint64
+	skips   int
+	samples []Counters
+}
+
+func runOneBlock(t *testing.T, l *kernel.Launch, traceInterval uint64, ff bool) smRun {
+	t.Helper()
+	s := testSMBacked()
+	if traceInterval > 0 {
+		s.EnableTrace(traceInterval)
+	}
+	if !s.CanAccept(l) {
+		t.Fatalf("block of %s does not fit on an idle SM", l.Program.Name)
+	}
+	s.LaunchBlock(l, [3]int64{}, 0)
+	var r smRun
+	for guard := 0; s.Busy(); guard++ {
+		if guard > 2_000_000 {
+			t.Fatalf("%s: SM did not go idle", l.Program.Name)
+		}
+		s.Tick()
+		if w := s.NextWakeup(); w < s.Cycle() {
+			t.Fatalf("%s: NextWakeup %d behind clock %d", l.Program.Name, w, s.Cycle())
+		}
+		if ff {
+			if w := s.NextWakeup(); w > s.Cycle() {
+				s.AdvanceTo(w)
+				r.skips++
+			}
+		}
+	}
+	r.ctr = s.Counters()
+	r.cycles = s.Cycle()
+	r.samples = append(r.samples, s.TraceSamples()...)
+	return r
+}
+
+// assertEquivalent runs the block under both engines and demands identical
+// counters, cycle counts and trace samples, with the fast-forward side
+// actually taking skips (otherwise the case exercises nothing).
+func assertEquivalent(t *testing.T, l *kernel.Launch, traceInterval uint64) {
+	t.Helper()
+	naive := runOneBlock(t, l, traceInterval, false)
+	ff := runOneBlock(t, l, traceInterval, true)
+	if ff.skips == 0 {
+		t.Errorf("%s: fast-forward took no skips; case exercises nothing", l.Program.Name)
+	}
+	if naive.cycles != ff.cycles {
+		t.Errorf("%s: cycles differ: naive %d, ff %d", l.Program.Name, naive.cycles, ff.cycles)
+	}
+	if naive.ctr != ff.ctr {
+		t.Errorf("%s: counters differ:\nnaive: %+v\nff:    %+v", l.Program.Name, naive.ctr, ff.ctr)
+	}
+	if len(naive.samples) != len(ff.samples) {
+		t.Fatalf("%s: trace sample count differs: naive %d, ff %d", l.Program.Name, len(naive.samples), len(ff.samples))
+	}
+	for i := range naive.samples {
+		if naive.samples[i] != ff.samples[i] {
+			t.Errorf("%s: trace sample %d differs", l.Program.Name, i)
+		}
+	}
+}
+
+// barrierDrainLaunch builds a 2-warp block where warp 0 issues a long-latency
+// load-dependent store and exits (entering drain with the store in flight)
+// while warp 1 waits at the block barrier — the barrier-with-draining-peer
+// wakeup case: the barrier warp has no self bound (neverWake) and the bound
+// must come from the dying peer's store completion and death event.
+func barrierDrainLaunch() *kernel.Launch {
+	b := kernel.NewBuilder("bardrain")
+	gid := b.GlobalIDX()
+	addr := b.IAddImm(b.Shl(gid, 2), 4096)
+	p := b.ISetpImm(isa.CmpLT, gid, 32) // warp 0 only
+	v := b.Ldg(addr, 0, 4)              // long-scoreboard dependency
+	b.StgIf(p, false, addr, v, 0, 4)
+	b.ExitIf(p, false)
+	b.Bar()
+	b.Stg(addr, v, 0, 4)
+	b.Exit()
+	return &kernel.Launch{
+		Program: b.MustBuild(),
+		Grid:    kernel.Dim3{X: 1},
+		Block:   kernel.Dim3{X: 64},
+	}
+}
+
+// singleWarpLaunch builds a 1-warp block: on a 4-subpartition SM, three
+// subpartitions stay empty, pinning the empty-subpartition accounting
+// (SubpActiveCycles, ActiveWarpCycles) under bulk skips.
+func singleWarpLaunch() *kernel.Launch {
+	b := kernel.NewBuilder("onewarp")
+	gid := b.GlobalIDX()
+	addr := b.IAddImm(b.Shl(gid, 2), 8192)
+	acc := b.MovImm(0)
+	for i := 0; i < 4; i++ {
+		v := b.Ldg(addr, int64(i*256), 4) // serialized long-latency loads
+		acc = b.IAdd(acc, v)
+	}
+	b.Stg(addr, acc, 0, 4)
+	b.Exit()
+	return &kernel.Launch{
+		Program: b.MustBuild(),
+		Grid:    kernel.Dim3{X: 1},
+		Block:   kernel.Dim3{X: 32},
+	}
+}
+
+func TestWakeupBarrierWithDrainingPeer(t *testing.T) {
+	assertEquivalent(t, barrierDrainLaunch(), 0)
+}
+
+func TestWakeupEmptySubpartitions(t *testing.T) {
+	l := singleWarpLaunch()
+	assertEquivalent(t, l, 0)
+
+	// The empty subpartitions must contribute nothing to SubpActiveCycles:
+	// with one resident warp the closure SubpActiveCycles == ActiveCycles
+	// holds on a 4-subpartition SM.
+	r := runOneBlock(t, l, 0, true)
+	if r.ctr.SubpActiveCycles != r.ctr.ActiveCycles {
+		t.Errorf("SubpActiveCycles %d != ActiveCycles %d with a single resident warp",
+			r.ctr.SubpActiveCycles, r.ctr.ActiveCycles)
+	}
+}
+
+// TestWakeupTraceBoundaryClipping enables tracing with an interval short
+// enough that long-scoreboard skip windows straddle sample boundaries: the
+// bound must clip to one cycle before each boundary so every sample is
+// taken by a normal tick, landing on the exact cycle the naive loop uses.
+func TestWakeupTraceBoundaryClipping(t *testing.T) {
+	const interval = 16
+	l := singleWarpLaunch()
+	assertEquivalent(t, l, interval)
+
+	// Every computed bound must respect the clipping invariant.
+	s := testSMBacked()
+	s.EnableTrace(interval)
+	s.LaunchBlock(l, [3]int64{}, 0)
+	clipped := false
+	for guard := 0; s.Busy(); guard++ {
+		if guard > 2_000_000 {
+			t.Fatal("SM did not go idle")
+		}
+		s.Tick()
+		w := s.NextWakeup()
+		if bound := (s.Cycle()/interval+1)*interval - 1; w > bound {
+			t.Fatalf("NextWakeup %d skips past trace boundary tick %d", w, bound)
+		} else if w == bound && w > s.Cycle() {
+			clipped = true
+		}
+		s.AdvanceTo(w)
+	}
+	if !clipped {
+		t.Error("no skip window was clipped at a trace boundary; shorten the interval")
+	}
+}
+
+// TestAdvanceToGuardsBound pins the safety rail: jumping past the reported
+// bound must panic rather than silently corrupt counters.
+func TestAdvanceToGuardsBound(t *testing.T) {
+	s := testSMBacked()
+	l := singleWarpLaunch()
+	s.LaunchBlock(l, [3]int64{}, 0)
+	for i := 0; i < 10_000 && s.Busy(); i++ {
+		s.Tick()
+		if w := s.NextWakeup(); w > s.Cycle() {
+			defer func() {
+				if recover() == nil {
+					t.Error("AdvanceTo beyond NextWakeup did not panic")
+				}
+			}()
+			s.AdvanceTo(w + 1)
+			return
+		}
+	}
+	t.Fatal("no skip window found")
+}

@@ -88,6 +88,12 @@ type warp struct {
 	fetchedLine uint64
 	ifetchReady uint64
 
+	// lastState is the warp state accounted by the most recent Tick. The
+	// fast-forward engine (SM.AdvanceTo) replays it for every bulk-skipped
+	// cycle: while no warp on the SM can issue and no wakeup bound has
+	// expired, the per-cycle classification is provably constant.
+	lastState WarpState
+
 	finished bool
 	dead     bool // finished already accounted against block.liveWarps
 }

@@ -117,6 +117,15 @@ func WithRoofline() Option { return func(p *Profiler) { p.roofline = true } }
 // are assembled in pass order.
 func WithReplayWorkers(n int) Option { return func(p *Profiler) { p.replayWorkers = n } }
 
+// WithFastForward selects the launch engine. On (the default), the device
+// fast-forwards each SM over provably idle cycle spans — spans the SM proves
+// no observable state can change in — bulk-accounting the skipped cycles, so
+// memory-latency-bound phases simulate in a fraction of the naive loop's
+// wall time. Off runs the historical cycle-by-cycle loop. Both engines
+// produce bit-identical results (cycles, counters, per-SM deltas, trace
+// samples); see DESIGN.md §"Fast-forward engine".
+func WithFastForward(on bool) Option { return func(p *Profiler) { p.fastForward = on } }
+
 // WithReplayCache enables deterministic memoization of byte-identical kernel
 // invocations: when the same (program, launch configuration, device memory,
 // constant bank) recurs under the same pass schedule, the recorded counter
@@ -164,6 +173,7 @@ type Profiler struct {
 	roofline      bool
 	replayWorkers int
 	cacheOn       bool
+	fastForward   bool
 	cache         *cupti.ReplayCache
 	tracer        *obs.Tracer
 	metrics       *obs.Registry
@@ -185,6 +195,7 @@ func NewProfiler(spec *gpu.Spec, opts ...Option) *Profiler {
 		mode:          cupti.ModeSMPC,
 		memBytes:      sim.DefaultMemBytes,
 		replayWorkers: 1,
+		fastForward:   true,
 	}
 	for _, o := range opts {
 		o(p)
@@ -318,6 +329,7 @@ func (p *Profiler) ProfileApp(app *workloads.App) (*AppResult, error) {
 // promptly (returning ctx.Err, wrapped) when ctx is cancelled.
 func (p *Profiler) ProfileAppCtx(ctx context.Context, app *workloads.App) (*AppResult, error) {
 	dev := sim.NewDeviceMem(p.spec, p.memBytes)
+	dev.SetFastForward(p.fastForward)
 	return p.profileOn(ctx, dev, app)
 }
 
@@ -428,6 +440,7 @@ func (p *Profiler) TimelineCtx(ctx context.Context, app *workloads.App, kernelNa
 		return nil, fmt.Errorf("gputopdown: zero timeline interval")
 	}
 	dev := sim.NewDeviceMem(p.spec, p.memBytes)
+	dev.SetFastForward(p.fastForward)
 	dev.EnableTrace(interval)
 	analyzer := core.NewAnalyzer(p.spec, p.level)
 	analyzer.Normalize = p.normalize
@@ -469,6 +482,7 @@ func (p *Profiler) TimelineCtx(ctx context.Context, app *workloads.App, kernelNa
 // device cycles — the Fig. 13 baseline.
 func (p *Profiler) RunNative(app *workloads.App) (uint64, error) {
 	dev := sim.NewDeviceMem(p.spec, p.memBytes)
+	dev.SetFastForward(p.fastForward)
 	var total uint64
 	err := app.Execute(dev, func(l *kernel.Launch) error {
 		res, err := dev.Launch(l)
