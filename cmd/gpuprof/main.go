@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +46,10 @@ func main() {
 	replayWorkers := flag.Int("replay-workers", 1, "concurrent replay-pass workers per kernel (0 = all CPU cores, 1 = sequential)")
 	replayCache := flag.Bool("replay-cache", false, "memoize byte-identical kernel invocations instead of re-simulating them")
 	ff := flag.Bool("ff", true, "fast-forward provably idle cycle spans (bit-identical results; -ff=false runs the naive cycle loop)")
+	serve := flag.String("serve", "", "serve live observability HTTP on this address (/metrics, /healthz, /trace, /api/progress, /debug/pprof/)")
+	flameOut := flag.String("flame-out", "", "write per-kernel simulated-cycle stacks in collapsed format (open in speedscope)")
+	logLevel := flag.String("log-level", "", "enable structured logging at this level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
 
 	spec, ok := gpu.Lookup(*gpuID)
@@ -112,15 +117,48 @@ func main() {
 
 	var tracer *obs.Tracer
 	var registry *obs.Registry
-	if *traceOut != "" {
+	if *traceOut != "" || *serve != "" {
 		tracer = obs.NewTracer()
 		tracer.SetBlockDetail(*traceBlocks)
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serve != "" {
 		registry = obs.NewRegistry()
 	}
 	if tracer != nil || registry != nil {
 		sess.SetObserver(tracer, registry)
+	}
+	var logger *obs.Logger
+	if *logLevel != "" {
+		lvl, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		logger = obs.NewLogger(os.Stderr, lvl, *logFormat)
+		sess.SetLogger(logger)
+	}
+	var progress *obs.Progress
+	if *serve != "" || logger != nil {
+		progress = obs.NewProgress()
+		progress.StartRun(1)
+		progress.StartApp(*suite, *appName)
+		sess.SetProgress(progress)
+	}
+	if *serve != "" {
+		srv := obs.NewServer(tracer, registry, progress)
+		srv.SetLogger(logger)
+		if err := srv.Start(*serve); err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		fmt.Fprintf(os.Stderr, "gpuprof: observability HTTP on http://%s\n", srv.Addr())
+	}
+	var flame *obs.Flame
+	if *flameOut != "" {
+		flame = obs.NewFlame()
 	}
 
 	fmt.Printf("==PROF== profiling %s/%s on %s (%s, %d passes per kernel)\n",
@@ -132,6 +170,9 @@ func main() {
 		if err != nil {
 			return err
 		}
+		// gpuprof has no Top-Down analysis to attribute within a kernel, so
+		// the stacks stop at the kernel: gpu;suite/app;kernel cycles.
+		flame.Add(float64(rec.Cycles), spec.Name, *suite+"/"+*appName, rec.Kernel)
 		fmt.Printf("%s (invocation %d, %d cycles, grid %s block %s)\n",
 			rec.Kernel, rec.Invocation, rec.Cycles, l.Grid, l.Block)
 		ctx := &metrics.Context{Spec: spec, Values: rec.Values}
@@ -146,6 +187,13 @@ func main() {
 	})
 	if err != nil {
 		fatalf("%v", err)
+	}
+	progress.AppDone()
+	if flame != nil {
+		if err := flame.WriteFile(*flameOut); err != nil {
+			fatalf("writing flamegraph: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "gpuprof: wrote folded stacks to %s (import into https://speedscope.app)\n", *flameOut)
 	}
 	native, profiled := sess.Overhead()
 	fmt.Printf("==PROF== native %d cycles, profiled %d cycles (%.1fx)\n",
@@ -165,13 +213,13 @@ func main() {
 			*suite, *appName, spec.Name, sess.NumPasses(), native, profiled,
 			float64(profiled)/float64(native), wall, throughput)
 	}
-	if tracer != nil {
+	if tracer != nil && *traceOut != "" {
 		if err := tracer.WriteFile(*traceOut); err != nil {
 			fatalf("writing trace: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "gpuprof: wrote %d trace events to %s\n", tracer.Len(), *traceOut)
 	}
-	if registry != nil {
+	if registry != nil && *metricsOut != "" {
 		if err := registry.WriteFile(*metricsOut); err != nil {
 			fatalf("writing metrics: %v", err)
 		}

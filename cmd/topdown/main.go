@@ -9,6 +9,8 @@
 //	topdown -gpu gtx1070 -suite altis -app gemm -level 2 -per-kernel
 //	topdown -gpu rtx4000 -dynamic              # per-invocation srad series
 //	topdown -gpu rtx4000 -autotune -replay-cache  # memoized autotune harness
+//	topdown -gpu rtx4000 -suite rodinia -all -serve :8080   # live-observable sweep
+//	topdown -gpu rtx4000 -suite altis -app gemm -flame-out gemm.folded
 //	topdown -list                              # available apps
 package main
 
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"gputopdown"
 )
@@ -42,6 +45,12 @@ func main() {
 	replayWorkers := flag.Int("replay-workers", 1, "concurrent replay-pass workers per kernel (0 = all CPU cores, 1 = sequential)")
 	replayCache := flag.Bool("replay-cache", false, "memoize byte-identical kernel invocations instead of re-simulating them")
 	ff := flag.Bool("ff", true, "fast-forward provably idle cycle spans (bit-identical results; -ff=false runs the naive cycle loop)")
+	all := flag.Bool("all", false, "profile every app of -suite (a sweep; pairs with -serve and the progress log)")
+	serve := flag.String("serve", "", "serve live observability HTTP on this address (/metrics, /healthz, /trace, /api/progress, /debug/pprof/)")
+	flameOut := flag.String("flame-out", "", "write the Top-Down cycle attribution as collapsed stacks (open in speedscope or flamegraph.pl)")
+	logLevel := flag.String("log-level", "", "enable structured logging at this level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	progressEvery := flag.Duration("progress-every", 10*time.Second, "period of the suite-progress log line (0 disables; needs -log-level)")
 	flag.Parse()
 
 	if *list {
@@ -50,24 +59,26 @@ func main() {
 	}
 
 	// Observability: a tracer and/or metrics registry shared by every
-	// profiler this invocation builds, flushed to disk on exit.
+	// profiler this invocation builds, flushed to disk on exit. -serve wants
+	// both live even when no output file was asked for, so the HTTP endpoints
+	// have something to expose.
 	var tracer *gputopdown.Tracer
 	var registry *gputopdown.MetricsRegistry
-	if *traceOut != "" {
+	if *traceOut != "" || *serve != "" {
 		tracer = gputopdown.NewTracer()
 		tracer.SetBlockDetail(*traceBlocks)
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serve != "" {
 		registry = gputopdown.NewMetricsRegistry()
 	}
 	writeObs := func() {
-		if tracer != nil {
+		if tracer != nil && *traceOut != "" {
 			if err := tracer.WriteFile(*traceOut); err != nil {
 				fatalf("writing trace: %v", err)
 			}
 			fmt.Fprintf(os.Stderr, "topdown: wrote %d trace events to %s\n", tracer.Len(), *traceOut)
 		}
-		if registry != nil {
+		if registry != nil && *metricsOut != "" {
 			if err := registry.WriteFile(*metricsOut); err != nil {
 				fatalf("writing metrics: %v", err)
 			}
@@ -96,9 +107,48 @@ func main() {
 	opts = append(opts, gputopdown.WithReplayWorkers(*replayWorkers),
 		gputopdown.WithReplayCache(*replayCache),
 		gputopdown.WithFastForward(*ff))
+
+	var logger *gputopdown.Logger
+	if *logLevel != "" {
+		var err error
+		logger, err = gputopdown.NewLogger(os.Stderr, *logLevel, *logFormat)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts = append(opts, gputopdown.WithLogger(logger),
+			gputopdown.WithProgressInterval(*progressEvery))
+	}
+	if *serve != "" {
+		opts = append(opts, gputopdown.WithObsServer(*serve))
+	}
+
 	p, err := gputopdown.NewProfilerE(spec, opts...)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	defer p.Close()
+	if addr := p.ObsAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "topdown: observability HTTP on http://%s (/metrics /healthz /trace /api/progress /debug/pprof/)\n", addr)
+	}
+
+	writeFlame := func(results ...*gputopdown.AppResult) {
+		if *flameOut == "" {
+			return
+		}
+		if err := gputopdown.WriteFlameFile(*flameOut, results...); err != nil {
+			fatalf("writing flamegraph: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "topdown: wrote folded stacks to %s (import into https://speedscope.app)\n", *flameOut)
+	}
+
+	if *all {
+		results, err := p.ProfileSuite(*suite)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printSweep(results, *overhead)
+		writeFlame(results...)
+		return
 	}
 
 	var app *gputopdown.App
@@ -125,6 +175,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	writeFlame(res)
 
 	if *overhead {
 		printOverhead(res)
@@ -157,6 +208,25 @@ func main() {
 				k.Kernel, k.Invocation, k.Cycles,
 				100*a.Fraction(a.Retire), 100*a.Fraction(a.Divergence),
 				100*a.Fraction(a.Frontend), 100*a.Fraction(a.Backend))
+		}
+	}
+}
+
+// printSweep prints one aggregate line per app of a -all suite sweep.
+func printSweep(results []*gputopdown.AppResult, overhead bool) {
+	fmt.Printf("%-28s %10s %7s %7s %7s %7s %9s\n",
+		"app", "cycles", "retire", "diverg", "front", "back", "overhead")
+	for _, res := range results {
+		a := res.Aggregate
+		fmt.Printf("%-28s %10d %6.1f%% %6.1f%% %6.1f%% %6.1f%% %8.1fx\n",
+			res.Suite+"/"+res.App, res.NativeCycles,
+			100*a.Fraction(a.Retire), 100*a.Fraction(a.Divergence),
+			100*a.Fraction(a.Frontend), 100*a.Fraction(a.Backend),
+			res.Overhead())
+	}
+	if overhead {
+		for _, res := range results {
+			printOverhead(res)
 		}
 	}
 }

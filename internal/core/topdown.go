@@ -124,11 +124,12 @@ type Analyzer struct {
 	// stack adds up to IPC_MAX (default true, as in the paper's figures).
 	Normalize bool
 
-	// Observability (nil/disabled by default; see SetObserver).
+	// Observability (nil/disabled by default; see SetObserver/SetLogger).
 	tracer    *obs.Tracer
 	obsOn     bool
 	mAnalyses *obs.Counter
 	hAnalWall *obs.Histogram
+	log       *obs.Logger // component "core"
 }
 
 // SetObserver attaches an execution tracer and metrics registry to the
@@ -142,6 +143,10 @@ func (an *Analyzer) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
 	an.hAnalWall = reg.Histogram("analysis_wall_seconds",
 		"Wall-clock duration of individual Top-Down analyses.", nil, nil)
 }
+
+// SetLogger attaches a structured logger; each computed analysis is logged at
+// debug level under component "core". Nil detaches.
+func (an *Analyzer) SetLogger(l *obs.Logger) { an.log = l.Component("core") }
 
 // NewAnalyzer builds an analyzer for a device at the given level. It caps
 // the level at 2 on pre-unified-metrics devices, where the PMU lacks the
@@ -274,6 +279,7 @@ func (an *Analyzer) Analyze(kernelName string, values pmu.Values) *Analysis {
 	}
 
 	if an.Level < Level2 {
+		an.logAnalysis(a)
 		return a
 	}
 
@@ -323,6 +329,7 @@ func (an *Analyzer) Analyze(kernelName string, values pmu.Values) *Analysis {
 	a.Backend = a.Core + a.Memory
 
 	if an.Level < Level3 || a.Tool != "ncu" {
+		an.logAnalysis(a)
 		return a
 	}
 
@@ -337,7 +344,20 @@ func (an *Analyzer) Analyze(kernelName string, values pmu.Values) *Analysis {
 	a.DecodeDetail = scaleDetail(decodeParts)
 	a.CoreDetail = scaleDetail(coreParts)
 	a.MemoryDetail = scaleDetail(memParts)
+	an.logAnalysis(a)
 	return a
+}
+
+// logAnalysis emits the per-analysis debug record (level-1 shares only; the
+// full hierarchy is in the Analysis itself).
+func (an *Analyzer) logAnalysis(a *Analysis) {
+	if !an.log.On(obs.LevelDebug) {
+		return
+	}
+	an.log.Debug("analysis computed",
+		"kernel", a.Kernel, "level", a.Level, "tool", a.Tool,
+		"retire", a.Fraction(a.Retire), "divergence", a.Fraction(a.Divergence),
+		"frontend", a.Fraction(a.Frontend), "backend", a.Fraction(a.Backend))
 }
 
 // Aggregate combines per-kernel analyses into one application-level analysis

@@ -135,6 +135,13 @@ type Session struct {
 	gPassesPK  *obs.Gauge
 	gWorkers   *obs.Gauge
 	gCacheSize *obs.Gauge
+
+	// Structured logging (nil/disabled by default; see SetLogger) and live
+	// progress tracking (see SetProgress). Both are nil-safe, so the hot
+	// path guards only argument construction.
+	log      *obs.Logger // component "cupti"
+	cacheLog *obs.Logger // component "cache"
+	progress *obs.Progress
 }
 
 // NewSession builds a profiling session for the requested counters.
@@ -220,6 +227,27 @@ func (s *Session) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
 	s.gWorkers.Set(float64(s.workers))
 }
 
+// SetLogger attaches a structured logger to the session and its device. The
+// session logs pass starts/stops and schedule decisions under component
+// "cupti" and replay-cache hits/misses under component "cache"; the device
+// logs launch/fast-forward activity under component "sim". A nil logger
+// detaches all three and restores the zero-cost path.
+func (s *Session) SetLogger(l *obs.Logger) {
+	s.log = l.Component("cupti")
+	s.cacheLog = l.Component("cache")
+	s.dev.SetLogger(l)
+	if s.log.On(obs.LevelDebug) {
+		s.log.Debug("session configured",
+			"mode", s.mode.String(), "passes", s.sched.NumPasses(),
+			"workers", s.workers, "sample_every", s.sampleEvery)
+	}
+}
+
+// SetProgress attaches a live progress tracker: the session reports the
+// kernel and pass it is currently replaying plus cache hit/miss counts, which
+// the obs HTTP server exposes on /api/progress. Nil detaches.
+func (s *Session) SetProgress(p *obs.Progress) { s.progress = p }
+
 // SetWorkers bounds the concurrent replay worker pool. n <= 1 restores the
 // strictly sequential engine. With n > 1 the scheduled passes of each
 // profiled launch fan out across up to n devices (the session device plus
@@ -304,6 +332,12 @@ func (s *Session) ProfileCtx(ctx context.Context, l *kernel.Launch) (*KernelReco
 	}
 	passes := s.sched.Passes
 	profStart := s.tracer.Now()
+	s.progress.StartKernel(l.Program.Name, len(passes))
+	if s.log.On(obs.LevelDebug) {
+		s.log.Debug("profiling kernel",
+			"kernel", l.Program.Name, "invocation", s.invocations[l.Program.Name],
+			"passes", len(passes), "workers", s.workers)
+	}
 
 	// Pre-launch snapshot: restore point for multi-pass replay, and (with
 	// the cache enabled) the byte-identity the cache key hashes.
@@ -315,7 +349,19 @@ func (s *Session) ProfileCtx(ctx context.Context, l *kernel.Launch) (*KernelReco
 	if s.cache != nil {
 		key = s.keyFor(l, s.dev.Storage.HashAllocated())
 		if e, ok := s.cache.get(key); ok && e.passes == len(passes) {
+			s.progress.CacheHit()
+			if s.cacheLog.On(obs.LevelDebug) {
+				s.cacheLog.Debug("replay cache hit",
+					"kernel", l.Program.Name, "invocation", s.invocations[l.Program.Name],
+					"cycles", e.cycles, "entries", s.cache.Len())
+			}
 			return s.profileCached(l, e, profStart)
+		}
+		s.progress.CacheMiss()
+		if s.cacheLog.On(obs.LevelDebug) {
+			s.cacheLog.Debug("replay cache miss",
+				"kernel", l.Program.Name, "invocation", s.invocations[l.Program.Name],
+				"entries", s.cache.Len())
 		}
 		if s.obsOn {
 			s.mCacheMiss.Inc()
@@ -389,6 +435,12 @@ func (s *Session) ProfileCtx(ctx context.Context, l *kernel.Launch) (*KernelReco
 				})
 		}
 	}
+	s.progress.KernelDone()
+	if s.log.On(obs.LevelDebug) {
+		s.log.Debug("kernel profiled",
+			"kernel", rec.Kernel, "invocation", rec.Invocation,
+			"cycles", rec.Cycles, "passes", rec.Passes)
+	}
 	return rec, nil
 }
 
@@ -420,6 +472,12 @@ func (s *Session) runPassesSequential(ctx context.Context, l *kernel.Launch, sna
 			return nil, &KernelError{Kernel: l.Program.Name, Pass: i, Err: err}
 		}
 		results[i] = passResult{cycles: res.Cycles, smsUsed: res.SMsUsed, counters: s.collect(res)}
+		s.progress.PassDone(i + 1)
+		if s.log.On(obs.LevelDebug) {
+			s.log.Debug("pass complete",
+				"kernel", l.Program.Name, "pass", i+1, "passes", len(passes),
+				"cycles", res.Cycles)
+		}
 		if s.obsOn {
 			wall := time.Since(passWall).Seconds()
 			s.mPassWall.Add(wall)
@@ -489,6 +547,12 @@ func (s *Session) runPassesParallel(ctx context.Context, l *kernel.Launch, snap 
 			return
 		}
 		results[i] = passResult{cycles: res.Cycles, smsUsed: res.SMsUsed, counters: s.collect(res)}
+		s.progress.PassDone(i + 1)
+		if s.log.On(obs.LevelDebug) {
+			s.log.Debug("pass complete",
+				"kernel", l.Program.Name, "pass", i+1, "passes", n,
+				"cycles", res.Cycles, "clone", onClone)
+		}
 		if s.obsOn {
 			wall := time.Since(passWall).Seconds()
 			s.mPassWall.Add(wall)
@@ -589,6 +653,7 @@ func (s *Session) profileCached(l *kernel.Launch, e *replayEntry, profStart floa
 				})
 		}
 	}
+	s.progress.KernelDone()
 	return rec, nil
 }
 
@@ -625,6 +690,11 @@ func (s *Session) profileSkipped(l *kernel.Launch, inv int) (*KernelRecord, erro
 			s.tracer.Complete(obs.PIDProfiler, 1, "cupti", "native "+rec.Kernel,
 				skipStart, map[string]any{"invocation": inv, "cycles": res.Cycles})
 		}
+	}
+	s.progress.KernelDone()
+	if s.log.On(obs.LevelDebug) {
+		s.log.Debug("kernel run natively under sampling",
+			"kernel", rec.Kernel, "invocation", inv, "cycles", res.Cycles)
 	}
 	return rec, nil
 }

@@ -1,0 +1,121 @@
+// Collapsed-stack ("folded") export of simulated-cycle attributions.
+//
+// The folded format is one line per unique stack — frame;frame;frame weight —
+// the interchange format of Brendan Gregg's FlameGraph tools and of
+// speedscope's importer. Here the "stacks" are not call stacks but the
+// Top-Down attribution hierarchy: device → application → kernel → Top-Down
+// node → stall reason, weighted by simulated GPU cycles, so standard
+// flamegraph tooling renders where simulated time went.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Flame accumulates weighted stacks and writes them in folded format.
+// Adding the same stack repeatedly accumulates weight (how multiple
+// invocations of one kernel fold together). Safe for concurrent use.
+type Flame struct {
+	mu      sync.Mutex
+	weights map[string]float64
+	order   []string // first-seen order, for deterministic output
+}
+
+// NewFlame builds an empty folded-stack accumulator.
+func NewFlame() *Flame {
+	return &Flame{weights: map[string]float64{}}
+}
+
+// sanitizeFrame keeps a frame legal in folded output: ';' separates frames
+// and the final ' ' separates the weight, so both are replaced.
+func sanitizeFrame(f string) string {
+	f = strings.ReplaceAll(f, ";", ":")
+	f = strings.ReplaceAll(f, " ", "_")
+	f = strings.ReplaceAll(f, "\n", "_")
+	if f == "" {
+		return "?"
+	}
+	return f
+}
+
+// Add accumulates weight onto the stack described by frames, root first.
+// Non-positive weights and empty stacks are ignored. Nil-safe.
+func (f *Flame) Add(weight float64, frames ...string) {
+	if f == nil || weight <= 0 || len(frames) == 0 {
+		return
+	}
+	parts := make([]string, len(frames))
+	for i, fr := range frames {
+		parts[i] = sanitizeFrame(fr)
+	}
+	key := strings.Join(parts, ";")
+	f.mu.Lock()
+	if _, ok := f.weights[key]; !ok {
+		f.order = append(f.order, key)
+	}
+	f.weights[key] += weight
+	f.mu.Unlock()
+}
+
+// Len returns the number of distinct stacks.
+func (f *Flame) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.weights)
+}
+
+// Total returns the summed weight across all stacks.
+func (f *Flame) Total() float64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var t float64
+	for _, w := range f.weights {
+		t += w
+	}
+	return t
+}
+
+// WriteFolded writes one "stack weight" line per stack in first-added order.
+// Weights are rounded to integers (the format FlameGraph/speedscope parse);
+// stacks whose weight rounds to zero are dropped.
+func (f *Flame) WriteFolded(w io.Writer) error {
+	if f == nil {
+		return fmt.Errorf("obs: WriteFolded on nil flame")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var b strings.Builder
+	for _, key := range f.order {
+		n := int64(math.Round(f.weights[key]))
+		if n <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s %d\n", key, n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFile writes the folded output to a file.
+func (f *Flame) WriteFile(path string) error {
+	if f == nil {
+		return fmt.Errorf("obs: WriteFile on nil flame")
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return f.WriteFolded(file)
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFlameFolded is the golden test for the collapsed-stack exporter:
+// accumulation of repeated stacks, frame sanitization, first-seen ordering,
+// integer rounding and the dropping of zero-weight rows.
+func TestFlameFolded(t *testing.T) {
+	f := NewFlame()
+	f.Add(100, "rtx4000", "altis/gemm", "sgemm", "Retire")
+	f.Add(50, "rtx4000", "altis/gemm", "sgemm", "Backend", "Memory", "long_scoreboard")
+	f.Add(25, "rtx4000", "altis/gemm", "sgemm", "Retire") // folds into the first
+	f.Add(10.4, "rtx4000", "altis/gemm", "kernel with spaces;and semis")
+	f.Add(0.2, "rtx4000", "altis/gemm", "rounds_to_zero")
+	f.Add(-5, "rtx4000", "ignored_negative")
+	f.Add(7, "", "empty_root_frame")
+
+	var buf bytes.Buffer
+	if err := f.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "rtx4000;altis/gemm;sgemm;Retire 125\n" +
+		"rtx4000;altis/gemm;sgemm;Backend;Memory;long_scoreboard 50\n" +
+		"rtx4000;altis/gemm;kernel_with_spaces:and_semis 10\n" +
+		"?;empty_root_frame 7\n"
+	if got := buf.String(); got != want {
+		t.Errorf("folded output mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+	if f.Len() != 5 {
+		t.Errorf("Len() = %d, want 5 distinct stacks", f.Len())
+	}
+	if total := f.Total(); total != 100+50+25+10.4+0.2+7 {
+		t.Errorf("Total() = %v", total)
+	}
+
+	// Every emitted line must be "<frames> <integer>" with no stray spaces —
+	// the property speedscope's importer depends on.
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if i := strings.LastIndexByte(line, ' '); i < 0 || strings.Count(line, " ") != 1 {
+			t.Errorf("malformed folded line %q", line)
+		}
+	}
+}
+
+func TestFlameWriteFileError(t *testing.T) {
+	f := NewFlame()
+	f.Add(1, "a")
+	if err := f.WriteFile("/nonexistent-dir/x.folded"); err == nil {
+		t.Error("WriteFile into a missing directory succeeded")
+	}
+	var nilFlame *Flame
+	if err := nilFlame.WriteFolded(&bytes.Buffer{}); err == nil {
+		t.Error("nil flame WriteFolded succeeded")
+	}
+}

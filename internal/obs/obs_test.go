@@ -170,11 +170,23 @@ func TestNilObservabilityIsSafeAndAllocationFree(t *testing.T) {
 	var c *Counter
 	var g *Gauge
 	var h *Histogram
+	var lg *Logger
+	var pr *Progress
+	var fl *Flame
 	if tr.Enabled() {
 		t.Error("nil tracer claims enabled")
 	}
 	if reg.Counter("x", "x", nil) != nil {
 		t.Error("nil registry returned a live counter")
+	}
+	if lg.On(LevelError) {
+		t.Error("nil logger claims a level enabled")
+	}
+	if lg.Component("sim") != nil {
+		t.Error("nil logger returned a live component logger")
+	}
+	if got := pr.Snapshot(); got.ETASeconds != -1 {
+		t.Errorf("nil progress snapshot ETA = %v, want -1", got.ETASeconds)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
 		_ = tr.Now()
@@ -197,9 +209,45 @@ func TestNilObservabilityIsSafeAndAllocationFree(t *testing.T) {
 		h.Observe(3)
 		_ = h.Count()
 		_ = h.Sum()
+		if lg.On(LevelDebug) {
+			lg.Debug("unreachable on the disabled path")
+		}
+		pr.StartRun(4)
+		pr.StartApp("suite", "app")
+		pr.StartKernel("k", 9)
+		pr.PassDone(1)
+		pr.KernelDone()
+		pr.CacheHit()
+		pr.CacheMiss()
+		pr.AppDone()
+		fl.Add(1, "a", "b")
 	})
 	if allocs != 0 {
 		t.Errorf("nil observability hooks allocated %.1f bytes/op, want 0", allocs)
+	}
+}
+
+// BenchmarkObsDisabled is the CI allocation gate for the disabled
+// observability path: the exact hook sequence a profiled kernel pass
+// executes, against all-nil handles, must stay at 0 allocs/op.
+func BenchmarkObsDisabled(b *testing.B) {
+	var tr *Tracer
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var lg *Logger
+	var pr *Progress
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := tr.Now()
+		tr.Complete(PIDProfiler, 1, "replay", "pass", start, nil)
+		c.Inc()
+		g.Set(float64(i))
+		h.Observe(float64(i))
+		if lg.On(LevelDebug) {
+			lg.Debug("pass complete", "pass", i)
+		}
+		pr.PassDone(i)
 	}
 }
 

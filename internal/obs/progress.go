@@ -1,0 +1,212 @@
+// Live progress tracking for long profiling sweeps.
+//
+// A *Progress is the shared scoreboard the profiler layers update as a run
+// advances — which suite/app/kernel/pass is executing right now, how many
+// passes and kernels have completed, how the replay cache is doing — and the
+// /api/progress endpoint snapshots. Like every other obs hook it is nil-safe:
+// all mutators no-op on a nil receiver, so instrumented code updates it
+// unconditionally and pays nothing when progress tracking is off.
+//
+// Progress is written concurrently (ProfileApps fans apps across goroutines
+// while an HTTP scrape reads), so every method takes the internal mutex.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress is the live scoreboard of a profiling run.
+type Progress struct {
+	mu    sync.Mutex
+	start time.Time
+
+	suite, app, kernel   string
+	pass, passTotal      int
+	appsDone, appsTotal  int
+	passesDone           uint64
+	kernelsDone          uint64
+	cacheHits, cacheMiss uint64
+}
+
+// NewProgress builds a progress tracker whose clock starts now.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now()}
+}
+
+// StartRun records the total number of applications the run will profile.
+// ETA estimation needs it; single-app runs may skip it.
+func (p *Progress) StartRun(appsTotal int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.appsTotal = appsTotal
+	p.mu.Unlock()
+}
+
+// StartApp records the application now being profiled.
+func (p *Progress) StartApp(suite, app string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.suite, p.app = suite, app
+	p.mu.Unlock()
+}
+
+// AppDone counts one completed application.
+func (p *Progress) AppDone() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.appsDone++
+	p.mu.Unlock()
+}
+
+// StartKernel records the kernel invocation now being replayed and how many
+// passes its schedule requires.
+func (p *Progress) StartKernel(name string, passTotal int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.kernel = name
+	p.pass = 0
+	p.passTotal = passTotal
+	p.mu.Unlock()
+}
+
+// PassDone counts one completed replay pass; pass is its 1-based index
+// within the current kernel's schedule.
+func (p *Progress) PassDone(pass int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if pass > p.pass {
+		p.pass = pass
+	}
+	p.passesDone++
+	p.mu.Unlock()
+}
+
+// KernelDone counts one fully profiled kernel invocation.
+func (p *Progress) KernelDone() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.kernelsDone++
+	p.mu.Unlock()
+}
+
+// CacheHit counts a replay-cache hit.
+func (p *Progress) CacheHit() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.cacheHits++
+	p.mu.Unlock()
+}
+
+// CacheMiss counts a replay-cache miss.
+func (p *Progress) CacheMiss() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.cacheMiss++
+	p.mu.Unlock()
+}
+
+// ProgressSnapshot is a consistent point-in-time view of a Progress, shaped
+// for JSON exposition on /api/progress.
+type ProgressSnapshot struct {
+	// Current position: what the profiler is working on right now. Under
+	// concurrent app profiling this is the most recently started item.
+	Suite  string `json:"suite"`
+	App    string `json:"app"`
+	Kernel string `json:"kernel"`
+	// Pass is the 1-based index of the last completed pass of the current
+	// kernel (0 before the first completes); PassTotal its schedule length.
+	Pass      int `json:"pass"`
+	PassTotal int `json:"pass_total"`
+
+	// Cumulative work.
+	AppsDone    int    `json:"apps_done"`
+	AppsTotal   int    `json:"apps_total"`
+	KernelsDone uint64 `json:"kernels_done"`
+	PassesDone  uint64 `json:"passes_done"`
+
+	// Replay cache.
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+
+	// Throughput and ETA, derived from completed-pass throughput. ETASeconds
+	// is -1 when no estimate is possible (no total or nothing finished yet).
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	PassesPerSecond float64 `json:"passes_per_second"`
+	ETASeconds      float64 `json:"eta_seconds"`
+}
+
+// Snapshot returns a consistent copy of the current state with derived rates.
+// A nil Progress yields a zero snapshot with ETASeconds == -1.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{ETASeconds: -1}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		Suite:       p.suite,
+		App:         p.app,
+		Kernel:      p.kernel,
+		Pass:        p.pass,
+		PassTotal:   p.passTotal,
+		AppsDone:    p.appsDone,
+		AppsTotal:   p.appsTotal,
+		KernelsDone: p.kernelsDone,
+		PassesDone:  p.passesDone,
+		CacheHits:   p.cacheHits,
+		CacheMisses: p.cacheMiss,
+		ETASeconds:  -1,
+	}
+	if total := p.cacheHits + p.cacheMiss; total > 0 {
+		s.CacheHitRatio = float64(p.cacheHits) / float64(total)
+	}
+	s.ElapsedSeconds = time.Since(p.start).Seconds()
+	if s.ElapsedSeconds > 0 {
+		s.PassesPerSecond = float64(p.passesDone) / s.ElapsedSeconds
+	}
+	// ETA from completed-app throughput: the only unit whose total is known
+	// up front. Per-pass throughput seasons the estimate once at least one
+	// app finished; before that the remaining-work total is unknowable.
+	if p.appsTotal > 0 && p.appsDone > 0 && p.appsDone < p.appsTotal {
+		perApp := s.ElapsedSeconds / float64(p.appsDone)
+		s.ETASeconds = perApp * float64(p.appsTotal-p.appsDone)
+	} else if p.appsTotal > 0 && p.appsDone >= p.appsTotal {
+		s.ETASeconds = 0
+	}
+	return s
+}
+
+// LogArgs renders the snapshot as alternating slog key/value pairs for the
+// periodic progress line.
+func (s ProgressSnapshot) LogArgs() []any {
+	return []any{
+		"apps_done", s.AppsDone,
+		"apps_total", s.AppsTotal,
+		"app", s.Suite + "/" + s.App,
+		"kernel", s.Kernel,
+		"pass", s.Pass,
+		"pass_total", s.PassTotal,
+		"passes_done", s.PassesDone,
+		"passes_per_second", s.PassesPerSecond,
+		"cache_hit_ratio", s.CacheHitRatio,
+		"eta_seconds", s.ETASeconds,
+	}
+}

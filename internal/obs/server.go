@@ -1,0 +1,168 @@
+// Live observability service: an embedded HTTP server exposing the metrics
+// registry as a Prometheus scrape target, the execution tracer as a Chrome
+// trace snapshot, the run's live progress as JSON, and net/http/pprof for
+// continuous self-profiling of the profiler process.
+//
+// Two time domains meet here (see DESIGN.md §10): /debug/pprof profiles the
+// profiler itself on the host wall clock, while /metrics and /trace carry the
+// simulated-GPU accounting. The server is strictly read-only with respect to
+// the run — every handler snapshots state guarded by the same mutexes the
+// writers take, so a scrape under heavy profiling load is race-free and does
+// not perturb results.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the embedded observability HTTP server. Build with NewServer,
+// bind with Start, stop with Shutdown. The zero value is not useful.
+type Server struct {
+	tracer   *Tracer
+	reg      *Registry
+	progress *Progress
+	log      *Logger
+
+	mu   sync.Mutex
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// NewServer builds a server over the given (possibly nil) observability
+// components. A nil component turns its endpoint into a 503 — the server is
+// still useful for the rest.
+func NewServer(tr *Tracer, reg *Registry, pr *Progress) *Server {
+	return &Server{tracer: tr, reg: reg, progress: pr}
+}
+
+// SetLogger attaches a logger (component "obs") for lifecycle messages.
+func (s *Server) SetLogger(l *Logger) { s.log = l.Component("obs") }
+
+// Handler returns the server's routing handler, independent of any listener —
+// what tests drive through net/http/httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/api/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteProm(w); err != nil {
+		s.log.Error("metrics scrape failed", "err", err)
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "no tracer attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+	if err := s.tracer.WriteJSON(w); err != nil {
+		s.log.Error("trace snapshot failed", "err", err)
+	}
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	if s.progress == nil {
+		http.Error(w, "no progress tracker attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.progress.Snapshot()); err != nil {
+		s.log.Error("progress snapshot failed", "err", err)
+	}
+}
+
+// Start binds addr (":0" picks a free port; query it with Addr) and serves in
+// a background goroutine until Shutdown. Starting an already started server
+// is an error.
+func (s *Server) Start(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.srv != nil {
+		return fmt.Errorf("obs: server already started on %s", s.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.done = make(chan struct{})
+	go func(srv *http.Server, done chan struct{}) {
+		defer close(done)
+		// ErrServerClosed is the normal Shutdown result.
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.log.Error("observability server failed", "err", err)
+		}
+	}(s.srv, s.done)
+	s.log.Info("observability server listening", "addr", ln.Addr().String())
+	return nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server: the listener closes, in-flight
+// requests drain (bounded by ctx), and the serve goroutine exits before
+// Shutdown returns, so no goroutine leaks past it. Shutdown of a never
+// started (or already stopped) server is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv, done := s.srv, s.done
+	s.srv, s.ln, s.done = nil, nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	err := srv.Shutdown(ctx)
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	s.log.Info("observability server stopped", "err", err)
+	return err
+}

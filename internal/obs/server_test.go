@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testServer() (*Server, *Tracer, *Registry, *Progress) {
+	tr := NewTracer()
+	reg := NewRegistry()
+	pr := NewProgress()
+	return NewServer(tr, reg, pr), tr, reg, pr
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestServerEndpoints smoke-tests every route of the observability handler.
+func TestServerEndpoints(t *testing.T) {
+	srv, tr, reg, pr := testServer()
+	reg.Counter("demo_total", "a demo counter", nil).Add(3)
+	tr.Complete(PIDProfiler, 1, "replay", "pass", tr.Now(), nil)
+	pr.StartRun(2)
+	pr.StartApp("altis", "gemm")
+	h := srv.Handler()
+
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("/healthz: code %d body %q", rec.Code, rec.Body.String())
+	}
+
+	rec = get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Errorf("/metrics: code %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "demo_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = get(t, h, "/trace")
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &trace); err != nil {
+		t.Errorf("/trace is not valid trace-event JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("/trace has no events despite a recorded span")
+	}
+
+	rec = get(t, h, "/debug/pprof/")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("/debug/pprof/: code %d", rec.Code)
+	}
+	rec = get(t, h, "/debug/pprof/cmdline")
+	if rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: code %d", rec.Code)
+	}
+}
+
+// TestServerProgressJSONSchema pins the /api/progress JSON field names —
+// the contract external pollers depend on.
+func TestServerProgressJSONSchema(t *testing.T) {
+	srv, _, _, pr := testServer()
+	pr.StartRun(4)
+	pr.StartApp("rodinia", "bfs")
+	pr.StartKernel("bfs_kernel", 9)
+	pr.PassDone(1)
+	pr.PassDone(2)
+	pr.KernelDone()
+	pr.CacheHit()
+	pr.CacheMiss()
+	pr.AppDone()
+
+	rec := get(t, srv.Handler(), "/api/progress")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/api/progress: code %d", rec.Code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("/api/progress is not JSON: %v", err)
+	}
+	for _, key := range []string{
+		"suite", "app", "kernel", "pass", "pass_total",
+		"apps_done", "apps_total", "kernels_done", "passes_done",
+		"cache_hits", "cache_misses", "cache_hit_ratio",
+		"elapsed_seconds", "passes_per_second", "eta_seconds",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("/api/progress missing field %q", key)
+		}
+	}
+	if m["suite"] != "rodinia" || m["app"] != "bfs" || m["kernel"] != "bfs_kernel" {
+		t.Errorf("position fields wrong: %v", m)
+	}
+	if m["pass"] != float64(2) || m["pass_total"] != float64(9) {
+		t.Errorf("pass fields wrong: pass=%v pass_total=%v", m["pass"], m["pass_total"])
+	}
+	if m["cache_hit_ratio"] != 0.5 {
+		t.Errorf("cache_hit_ratio = %v, want 0.5", m["cache_hit_ratio"])
+	}
+	if eta, ok := m["eta_seconds"].(float64); !ok || eta < 0 {
+		t.Errorf("eta_seconds = %v, want >= 0 with 1/4 apps done", m["eta_seconds"])
+	}
+}
+
+// TestServerNilComponents: endpoints over missing components answer 503, not
+// panic, and /healthz still works.
+func TestServerNilComponents(t *testing.T) {
+	srv := NewServer(nil, nil, nil)
+	h := srv.Handler()
+	for _, path := range []string{"/metrics", "/trace", "/api/progress"} {
+		if rec := get(t, h, path); rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s with nil component: code %d, want 503", path, rec.Code)
+		}
+	}
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("/healthz: code %d", rec.Code)
+	}
+}
+
+// TestServerStartShutdown exercises the live listener: bind :0, scrape over
+// real TCP, then shut down gracefully and verify the serve goroutine exits
+// and the port closes.
+func TestServerStartShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, _, reg, _ := testServer()
+	reg.Gauge("up", "server liveness", nil).Set(1)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if addr == "" {
+		t.Fatal("no bound address after Start")
+	}
+	if err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start succeeded, want already-started error")
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics over TCP: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "up 1") {
+		t.Errorf("live scrape: code %d body %q", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("second Shutdown: %v, want nil no-op", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("GET after Shutdown succeeded, want connection refused")
+	}
+
+	// The serve goroutine must be gone. Goroutine counts wobble (the HTTP
+	// client keep-alive reaper, finished test helpers), so retry briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before || time.Now().After(deadline) {
+			if n > before {
+				t.Errorf("goroutines: %d before, %d after Shutdown", before, n)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestObservabilityConcurrency is the race-audit regression test: hammer the
+// tracer, registry, progress and flame from writer goroutines while scraping
+// every read path concurrently. Run under -race (as CI does) this fails on
+// any unsynchronized access.
+func TestObservabilityConcurrency(t *testing.T) {
+	srv, tr, reg, pr := testServer()
+	fl := NewFlame()
+	c := reg.Counter("races_total", "", nil)
+	g := reg.Gauge("races_gauge", "", nil)
+	hist := reg.Histogram("races_hist", "", []float64{1, 10, 100}, nil)
+	h := srv.Handler()
+
+	const writers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				hist.Observe(float64(i % 150))
+				tr.Complete(PIDProfiler, w, "replay", "pass", tr.Now(), nil)
+				pr.StartKernel("k", 4)
+				pr.PassDone(i % 5)
+				pr.KernelDone()
+				pr.CacheHit()
+				fl.Add(1, "gpu", "app", "k")
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				get(t, h, "/metrics")
+				get(t, h, "/api/progress")
+				get(t, h, "/trace")
+				_ = pr.Snapshot()
+				_ = fl.Total()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != writers*iters {
+		t.Errorf("races_total = %v, want %d", got, writers*iters)
+	}
+	if fl.Total() != writers*iters {
+		t.Errorf("flame total = %v, want %d", fl.Total(), writers*iters)
+	}
+}

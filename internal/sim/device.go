@@ -67,6 +67,9 @@ type Device struct {
 	mCycles     *obs.Counter
 	mWall       *obs.Counter
 	gThroughput *obs.Gauge
+	// log is the component-scoped ("sim") structured logger; nil when
+	// logging is disabled (see SetLogger).
+	log *obs.Logger
 }
 
 // NewDevice builds a device with the default memory size.
@@ -198,6 +201,11 @@ func (d *Device) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
 
 // Tracer returns the attached tracer (nil when detached).
 func (d *Device) Tracer() *obs.Tracer { return d.tracer }
+
+// SetLogger attaches a structured logger; launch summaries and fast-forward
+// accounting are logged at debug level under component "sim". Nil detaches
+// and restores the zero-cost path.
+func (d *Device) SetLogger(l *obs.Logger) { d.log = l.Component("sim") }
 
 // ResetCounters zeroes every SM's counters.
 func (d *Device) ResetCounters() {
@@ -446,6 +454,15 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 				res.Trace[i].Add(&sample)
 			}
 		}
+	}
+
+	// Logging epilogue: one debug line per launch summarising the engine's
+	// fast-forward decisions (ticks actually executed vs cycles covered).
+	if d.log.On(obs.LevelDebug) {
+		d.log.Debug("launch complete",
+			"kernel", l.Program.Name, "blocks", nb, "sms_used", res.SMsUsed,
+			"cycles", res.Cycles, "ticks", d.lastTicks,
+			"fast_forward", d.fastForward)
 	}
 
 	// Observability epilogue: spans on both time axes plus self-metrics.

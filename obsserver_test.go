@@ -1,0 +1,185 @@
+package gputopdown
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestObsServerEndToEnd is the acceptance check for the live observability
+// service: a profiler built with WithObsServer answers /metrics, /healthz,
+// /trace and /api/progress over real TCP while (and after) profiling, and
+// Close tears the listener down.
+func TestObsServerEndToEnd(t *testing.T) {
+	spec, _ := LookupGPU("rtx4000")
+	logger, err := NewLogger(io.Discard, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProfilerE(spec.WithSMs(2), WithLevel(3),
+		WithObsServer("127.0.0.1:0"), WithLogger(logger))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	addr := p.ObsAddr()
+	if addr == "" {
+		t.Fatal("WithObsServer bound no address")
+	}
+
+	app, ok := LookupApp("rodinia", "nw")
+	if !ok {
+		t.Fatal("unknown app rodinia/nw")
+	}
+	if _, err := p.ProfileApp(app); err != nil {
+		t.Fatal(err)
+	}
+
+	fetch := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := fetch("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+	if code, body := fetch("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "profiler_replay_overhead_ratio") {
+		t.Errorf("/metrics: %d, overhead ratio metric missing", code)
+	}
+	if code, body := fetch("/trace"); code != http.StatusOK || !strings.Contains(body, `"traceEvents"`) {
+		t.Errorf("/trace: %d, not trace-event JSON", code)
+	}
+	code, body := fetch("/api/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/api/progress: %d", code)
+	}
+	for _, field := range []string{`"apps_done": 1`, `"suite": "rodinia"`, `"app": "nw"`} {
+		if !strings.Contains(body, field) {
+			t.Errorf("/api/progress missing %s:\n%s", field, body)
+		}
+	}
+	if snap := p.Progress(); snap.AppsDone != 1 || snap.KernelsDone == 0 {
+		t.Errorf("Progress() = %+v, want 1 app and >0 kernels done", snap)
+	}
+
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := http.Get("http://" + addr + "/healthz"); err != nil {
+			break // listener is down, as required
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still answering after Close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("second Close: %v, want nil no-op", err)
+	}
+}
+
+// TestObsServerBadAddr: an unbindable address must surface as a construction
+// error from NewProfilerE, not a silent no-server run.
+func TestObsServerBadAddr(t *testing.T) {
+	spec, _ := LookupGPU("rtx4000")
+	if _, err := NewProfilerE(spec, WithObsServer("256.0.0.1:99999")); err == nil {
+		t.Error("NewProfilerE with unbindable obs address succeeded")
+	}
+}
+
+// TestObservabilityResultsBitIdentical: the full observability stack (debug
+// logging, tracer+registry, HTTP server, progress) must not perturb profiling
+// results — RunResult equality bit for bit against a bare profiler.
+func TestObservabilityResultsBitIdentical(t *testing.T) {
+	spec, _ := LookupGPU("gtx1070")
+	app, ok := LookupApp("rodinia", "hotspot")
+	if !ok {
+		t.Fatal("unknown app rodinia/hotspot")
+	}
+	bare := NewProfiler(spec.WithSMs(2), WithLevel(3))
+	want, err := bare.ProfileApp(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	logger, err := NewLogger(io.Discard, "debug", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := NewProfilerE(spec.WithSMs(2), WithLevel(3),
+		WithObserver(NewTracer(), NewMetricsRegistry()),
+		WithLogger(logger),
+		WithObsServer("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer observed.Close()
+	got, err := observed.ProfileApp(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.WallSeconds, got.WallSeconds = 0, 0
+	if !reflect.DeepEqual(want, got) {
+		t.Error("profiling under full observability diverged from the bare run")
+	}
+}
+
+// TestFlameExport checks the Top-Down folded export: stacks rooted at the
+// device, level-3 stall-reason leaves, parseable "<frames> <int>" lines, and
+// a loud error when there is nothing to export.
+func TestFlameExport(t *testing.T) {
+	spec, _ := LookupGPU("rtx4000")
+	p := NewProfiler(spec.WithSMs(2), WithLevel(3))
+	app, ok := LookupApp("altis", "gemm")
+	if !ok {
+		t.Fatal("unknown app altis/gemm")
+	}
+	res, err := p.ProfileApp(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFlame(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, ";Retire ") {
+		t.Errorf("no Retire leaf in folded output:\n%s", out)
+	}
+	if !strings.Contains(out, ";Backend;Memory;") {
+		t.Errorf("no level-3 Backend;Memory stall leaves in folded output:\n%s", out)
+	}
+	// Frames are sanitized for the folded format (' ' → '_'), so build the
+	// expected root the same way.
+	root := strings.ReplaceAll(res.GPU, " ", "_") + ";" +
+		strings.ReplaceAll(res.Suite+"/"+res.App, " ", "_") + ";"
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		fields := strings.Split(line, " ")
+		if len(fields) != 2 {
+			t.Fatalf("malformed folded line %q", line)
+		}
+		if !strings.HasPrefix(fields[0], root) {
+			t.Errorf("stack not rooted at device;app: %q", line)
+		}
+		for _, r := range fields[1] {
+			if r < '0' || r > '9' {
+				t.Errorf("non-integer weight in %q", line)
+			}
+		}
+	}
+
+	if err := WriteFlame(&bytes.Buffer{}); err == nil {
+		t.Error("WriteFlame with no results succeeded")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -162,6 +163,53 @@ func WithObserver(tr *Tracer, reg *MetricsRegistry) Option {
 	}
 }
 
+// Logger is the structured, component-scoped leveled logger (log/slog based);
+// see internal/obs. Create one with NewLogger, attach it with WithLogger.
+type Logger = obs.Logger
+
+// ProgressSnapshot is a point-in-time view of a live profiling run — what
+// the observability server serves on /api/progress.
+type ProgressSnapshot = obs.ProgressSnapshot
+
+// NewLogger builds a structured logger writing to w. level is "debug",
+// "info", "warn" or "error" (the -log-level flag values); format is "text"
+// for logfmt-style lines or "json" for one JSON object per line.
+func NewLogger(w io.Writer, level, format string) (*Logger, error) {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(w, lv, format), nil
+}
+
+// WithLogger attaches a structured logger to the profiler. Every subsystem
+// logs under its own component scope: "cupti" (pass start/stop, session
+// configuration), "cache" (replay-cache hits and misses), "sim" (kernel
+// launches and fast-forward accounting), "core" (analyses), "profiler"
+// (per-app summaries) and "progress" (the periodic suite-progress line; see
+// WithProgressInterval). A nil logger — or no WithLogger at all — keeps the
+// allocation-free disabled path.
+func WithLogger(l *Logger) Option { return func(p *Profiler) { p.logger = l } }
+
+// WithObsServer starts the live observability HTTP server on addr (":0"
+// picks a free port; query it with ObsAddr) when the profiler is built. The
+// server exposes GET /metrics (live Prometheus scrape), /healthz, /trace
+// (current Chrome trace snapshot), /api/progress (live run progress JSON)
+// and net/http/pprof under /debug/pprof/ for continuous self-profiling. If
+// no tracer or metrics registry was attached with WithObserver, both are
+// created so the endpoints have live data. The server shuts down gracefully
+// in Profiler.Close; a failed bind is reported by NewProfilerE (NewProfiler
+// records it and profiling proceeds without the server).
+func WithObsServer(addr string) Option { return func(p *Profiler) { p.obsAddr = addr } }
+
+// WithProgressInterval sets the period of the structured suite-progress log
+// line emitted during ProfileApps/ProfileSuite runs (default 10s; requires
+// WithLogger). d <= 0 disables the periodic line; progress is then still
+// available on /api/progress when the server is running.
+func WithProgressInterval(d time.Duration) Option {
+	return func(p *Profiler) { p.progressEvery = d }
+}
+
 // Profiler runs applications under Top-Down profiling on one GPU model.
 type Profiler struct {
 	spec          *gpu.Spec
@@ -177,6 +225,12 @@ type Profiler struct {
 	cache         *cupti.ReplayCache
 	tracer        *obs.Tracer
 	metrics       *obs.Registry
+	logger        *obs.Logger
+	progress      *obs.Progress
+	progressEvery time.Duration
+	obsAddr       string
+	obsServer     *obs.Server
+	obsErr        error
 }
 
 // NewProfiler builds a profiler for a device model. The default is a
@@ -196,6 +250,7 @@ func NewProfiler(spec *gpu.Spec, opts ...Option) *Profiler {
 		memBytes:      sim.DefaultMemBytes,
 		replayWorkers: 1,
 		fastForward:   true,
+		progressEvery: 10 * time.Second,
 	}
 	for _, o := range opts {
 		o(p)
@@ -211,6 +266,32 @@ func NewProfiler(spec *gpu.Spec, opts ...Option) *Profiler {
 	}
 	if p.cacheOn {
 		p.cache = cupti.NewReplayCache(0)
+	}
+	// Live observability service: the server needs a registry and tracer to
+	// scrape, and a progress tracker to report; create whatever is missing.
+	if p.obsAddr != "" {
+		if p.metrics == nil {
+			p.metrics = obs.NewRegistry()
+		}
+		if p.tracer == nil {
+			p.tracer = obs.NewTracer()
+		}
+	}
+	if p.obsAddr != "" || p.logger != nil {
+		p.progress = obs.NewProgress()
+	}
+	if p.obsAddr != "" {
+		srv := obs.NewServer(p.tracer, p.metrics, p.progress)
+		srv.SetLogger(p.logger)
+		if err := srv.Start(p.obsAddr); err != nil {
+			// NewProfiler has no error return; record the failure for
+			// NewProfilerE (and the logger) and profile without the server.
+			p.obsErr = err
+			p.logger.Error("observability server failed to start",
+				"addr", p.obsAddr, "err", err)
+		} else {
+			p.obsServer = srv
+		}
 	}
 	return p
 }
@@ -240,8 +321,42 @@ func NewProfilerE(spec *gpu.Spec, opts ...Option) (*Profiler, error) {
 	if probe.replayWorkers < 0 {
 		return nil, fmt.Errorf("gputopdown: negative replay worker count %d", probe.replayWorkers)
 	}
-	return NewProfiler(spec, opts...), nil
+	p := NewProfiler(spec, opts...)
+	if p.obsErr != nil {
+		return nil, fmt.Errorf("gputopdown: %w", p.obsErr)
+	}
+	return p, nil
 }
+
+// Close releases profiler-owned background resources: when WithObsServer
+// started an observability server, it shuts down gracefully (in-flight
+// scrapes drain, the serve goroutine exits). Close is idempotent and safe on
+// a profiler without a server.
+func (p *Profiler) Close() error {
+	srv := p.obsServer
+	p.obsServer = nil
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// ObsAddr returns the bound address of the live observability server, e.g.
+// "127.0.0.1:40123" — useful with WithObsServer(":0"). Empty when no server
+// is running.
+func (p *Profiler) ObsAddr() string {
+	if p.obsServer == nil {
+		return ""
+	}
+	return p.obsServer.Addr()
+}
+
+// Progress returns a snapshot of the live run progress (apps/kernels/passes
+// completed, current position, cache hit ratio, ETA). Without WithObsServer
+// or WithLogger no progress is tracked and a zero snapshot is returned.
+func (p *Profiler) Progress() ProgressSnapshot { return p.progress.Snapshot() }
 
 // Spec returns the profiler's device model.
 func (p *Profiler) Spec() *gpu.Spec { return p.spec }
@@ -363,6 +478,12 @@ func (p *Profiler) profileOn(ctx context.Context, dev *sim.Device, app *workload
 		sess.SetObserver(p.tracer, p.metrics)
 		analyzer.SetObserver(p.tracer, p.metrics)
 	}
+	if p.logger != nil {
+		sess.SetLogger(p.logger)
+		analyzer.SetLogger(p.logger)
+	}
+	sess.SetProgress(p.progress)
+	p.progress.StartApp(app.Suite, app.Name)
 	sessStart := p.tracer.Now()
 	wallStart := time.Now()
 	res := &AppResult{App: app.Name, Suite: app.Suite, GPU: p.spec.Name, Passes: sess.NumPasses()}
@@ -418,6 +539,13 @@ func (p *Profiler) profileOn(ctx context.Context, dev *sim.Device, app *workload
 		}
 		res.Roofline = core.ComputeRoofline(p.spec, total)
 	}
+	p.progress.AppDone()
+	if p.logger.On(obs.LevelInfo) {
+		p.logger.Component("profiler").Info("app profiled",
+			"app", app.ID(), "gpu", p.spec.Name,
+			"kernels", len(res.Kernels), "passes_per_kernel", res.Passes,
+			"overhead", res.Overhead(), "wall_seconds", res.WallSeconds)
+	}
 	return res, nil
 }
 
@@ -447,6 +575,10 @@ func (p *Profiler) TimelineCtx(ctx context.Context, app *workloads.App, kernelNa
 	if p.tracer != nil || p.metrics != nil {
 		dev.SetObserver(p.tracer, p.metrics)
 		analyzer.SetObserver(p.tracer, p.metrics)
+	}
+	if p.logger != nil {
+		dev.SetLogger(p.logger)
+		analyzer.SetLogger(p.logger)
 	}
 	var points []TimelinePoint
 	seen := 0
@@ -483,6 +615,9 @@ func (p *Profiler) TimelineCtx(ctx context.Context, app *workloads.App, kernelNa
 func (p *Profiler) RunNative(app *workloads.App) (uint64, error) {
 	dev := sim.NewDeviceMem(p.spec, p.memBytes)
 	dev.SetFastForward(p.fastForward)
+	if p.logger != nil {
+		dev.SetLogger(p.logger)
+	}
 	var total uint64
 	err := app.Execute(dev, func(l *kernel.Launch) error {
 		res, err := dev.Launch(l)
@@ -525,6 +660,9 @@ func (p *Profiler) ProfileApps(apps []*workloads.App) ([]*AppResult, error) {
 // partial progress is not discarded. Cancellation stops the remaining apps
 // and surfaces ctx.Err among the joined errors.
 func (p *Profiler) ProfileAppsCtx(ctx context.Context, apps []*workloads.App) ([]*AppResult, error) {
+	p.progress.StartRun(len(apps))
+	stopProgressLog := p.startProgressLog()
+	defer stopProgressLog()
 	results := make([]*AppResult, len(apps))
 	errs := make([]error, len(apps))
 	workers := runtime.NumCPU()
@@ -573,4 +711,32 @@ feed:
 		return results, err
 	}
 	return results, nil
+}
+
+// startProgressLog starts the periodic structured progress line for a suite
+// run — apps done/total, current kernel, pass throughput, cache hit ratio —
+// so long sweeps stay observable even without the HTTP server. It returns a
+// stop function (safe to call exactly once); a no-op closure is returned
+// when no logger or progress tracker is attached or the interval is off.
+func (p *Profiler) startProgressLog() func() {
+	if p.logger == nil || p.progress == nil || p.progressEvery <= 0 {
+		return func() {}
+	}
+	log := p.logger.Component("progress")
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(p.progressEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				log.Info("suite progress", p.progress.Snapshot().LogArgs()...)
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
 }
