@@ -62,14 +62,14 @@ func TestGetAppTypedErrors(t *testing.T) {
 	if !errors.Is(err, ErrUnknownApp) {
 		t.Fatalf("unknown app error = %v, want ErrUnknownApp", err)
 	}
-	if _, err := NewProfiler(QuadroRTX4000().WithSMs(2)).ProfileSuite("nosuite"); !errors.Is(err, ErrUnknownSuite) {
+	if _, err := NewProfiler(QuadroRTX4000().WithSMs(2)).ProfileSuite(context.Background(), "nosuite"); !errors.Is(err, ErrUnknownSuite) {
 		t.Fatalf("ProfileSuite error = %v, want ErrUnknownSuite", err)
 	}
 }
 
 func TestProfileAppNoKernels(t *testing.T) {
 	empty := &App{Name: "empty", Suite: "test", Run: func(*workloads.RunCtx) error { return nil }}
-	_, err := testProfiler(1).ProfileApp(empty)
+	_, err := testProfiler(1).ProfileApp(context.Background(), empty)
 	if !errors.Is(err, ErrNoKernels) {
 		t.Fatalf("empty app error = %v, want ErrNoKernels", err)
 	}
@@ -84,7 +84,7 @@ func TestProfileAppsJoinsErrors(t *testing.T) {
 	boomB := &App{Name: "boomB", Suite: "test", Run: func(*workloads.RunCtx) error { return fmt.Errorf("boom B") }}
 	apps := []*App{boomA, hotspot, boomB}
 
-	results, err := testProfiler(1).ProfileApps(apps)
+	results, err := testProfiler(1).ProfileApps(context.Background(), apps)
 	if err == nil {
 		t.Fatal("ProfileApps swallowed the failures")
 	}
@@ -104,7 +104,7 @@ func TestProfileAppsJoinsErrors(t *testing.T) {
 func TestProfileAppsEdgeCases(t *testing.T) {
 	p := testProfiler(1)
 	// Empty list: no error, no results.
-	results, err := p.ProfileApps(nil)
+	results, err := p.ProfileApps(context.Background(), nil)
 	if err != nil || len(results) != 0 {
 		t.Fatalf("empty list = (%v, %v)", results, err)
 	}
@@ -115,7 +115,7 @@ func TestProfileAppsEdgeCases(t *testing.T) {
 		a, _ := LookupApp("rodinia", n)
 		apps = append(apps, a)
 	}
-	results, err = p.ProfileApps(apps)
+	results, err = p.ProfileApps(context.Background(), apps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestKernelErrorSurfacesThroughProfiler(t *testing.T) {
 			Block:   kernel.Dim3{X: 4 * kernel.MaxBlockThreads}, // invalid
 		})
 	}}
-	_, err := testProfiler(1).ProfileApp(bad)
+	_, err := testProfiler(1).ProfileApp(context.Background(), bad)
 	if err == nil {
 		t.Fatal("invalid launch profiled without error")
 	}
@@ -186,11 +186,11 @@ func TestDeterminismAcrossReplayEngines(t *testing.T) {
 			base := NewProfiler(spec, WithLevel(3))
 			fast := NewProfiler(spec, WithLevel(3),
 				WithReplayWorkers(0), WithReplayCache(true))
-			want, err := base.ProfileApp(app)
+			want, err := base.ProfileApp(context.Background(), app)
 			if err != nil {
 				t.Fatalf("%s/%s sequential: %v", gname, aname, err)
 			}
-			got, err := fast.ProfileApp(app)
+			got, err := fast.ProfileApp(context.Background(), app)
 			if err != nil {
 				t.Fatalf("%s/%s concurrent: %v", gname, aname, err)
 			}
@@ -213,11 +213,11 @@ func TestDeterminismAutotuneCache(t *testing.T) {
 	base := NewProfiler(spec, WithLevel(3))
 	fast := NewProfiler(spec, WithLevel(3),
 		WithReplayWorkers(0), WithReplayCache(true))
-	want, err := base.ProfileApp(app)
+	want, err := base.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := fast.ProfileApp(app)
+	got, err := fast.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ package gputopdown
 // normalisation, replay cost).
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -39,7 +40,7 @@ func mustProfile(b *testing.B, p *Profiler, suite, name string) *AppResult {
 	if !ok {
 		b.Fatalf("unknown app %s/%s", suite, name)
 	}
-	res, err := p.ProfileApp(app)
+	res, err := p.ProfileApp(context.Background(), app)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func mustSuite(b *testing.B, p *Profiler, suite string) []*AppResult {
 	if ok {
 		return cached
 	}
-	res, err := p.ProfileSuite(suite)
+	res, err := p.ProfileSuite(context.Background(), suite)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func BenchmarkFig10AltisLevel3(b *testing.B) {
 
 func dynamicContrast(b *testing.B, kernelName string) (early, late float64, cyclesEarly, cyclesLate float64) {
 	p := benchProfiler(b, "rtx4000", 1)
-	res, err := p.ProfileApp(SradDynamic())
+	res, err := p.ProfileApp(context.Background(), SradDynamic())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -334,7 +335,7 @@ func BenchmarkAblationSchedulerPolicy(b *testing.B) {
 		spec.SchedulingPolicy = policy
 		p := NewProfiler(spec, WithLevel(1))
 		app, _ := LookupApp("rodinia", "hotspot")
-		res, err := p.ProfileApp(app)
+		res, err := p.ProfileApp(context.Background(), app)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -404,7 +405,7 @@ func benchReplayEngine(b *testing.B, opts ...Option) {
 	for i := 0; i < b.N; i++ {
 		p := benchProfiler(b, "rtx4000", 3, opts...)
 		var err error
-		res, err = p.ProfileApp(GemmAutotune())
+		res, err = p.ProfileApp(context.Background(), GemmAutotune())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -93,7 +94,7 @@ func (c *config) suite(name, gpuID string, level int, cache *[]*gputopdown.AppRe
 		return *cache
 	}
 	p := gputopdown.NewProfiler(c.device(gpuID), gputopdown.WithLevel(level))
-	res, err := p.ProfileSuite(name)
+	res, err := p.ProfileSuite(context.Background(), name)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %s on %s: %v\n", name, gpuID, err)
 		os.Exit(1)
@@ -107,7 +108,7 @@ func (c *config) dynamic() *gputopdown.AppResult {
 		return c.sradDynamic
 	}
 	p := gputopdown.NewProfiler(c.device("rtx4000"), gputopdown.WithLevel(1))
-	res, err := p.ProfileApp(gputopdown.SradDynamic())
+	res, err := p.ProfileApp(context.Background(), gputopdown.SradDynamic())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: srad dynamic: %v\n", err)
 		os.Exit(1)

@@ -15,10 +15,14 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"gputopdown"
@@ -48,6 +52,8 @@ func main() {
 	all := flag.Bool("all", false, "profile every app of -suite (a sweep; pairs with -serve and the progress log)")
 	serve := flag.String("serve", "", "serve live observability HTTP on this address (/metrics, /healthz, /trace, /api/progress, /debug/pprof/)")
 	flameOut := flag.String("flame-out", "", "write the Top-Down cycle attribution as collapsed stacks (open in speedscope or flamegraph.pl)")
+	remote := flag.String("remote", "", "submit the profile as a job to a gpuprofd daemon at this base URL (e.g. http://127.0.0.1:8791) and print its JSON report")
+	remoteTimeout := flag.Duration("remote-timeout", 0, "per-job deadline sent with -remote (0 = daemon default)")
 	logLevel := flag.String("log-level", "", "enable structured logging at this level: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	progressEvery := flag.Duration("progress-every", 10*time.Second, "period of the suite-progress log line (0 disables; needs -log-level)")
@@ -55,6 +61,17 @@ func main() {
 
 	if *list {
 		listAll()
+		return
+	}
+
+	// Context-first API: ^C / SIGTERM cancel the run mid-pass instead of
+	// killing the process between flushes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *remote != "" {
+		remoteProfile(ctx, *remote, *suite, *appName, *gpuID, *level, *raw, *hwpm,
+			*replayWorkers, replayCache, ff, *remoteTimeout)
 		return
 	}
 
@@ -142,7 +159,7 @@ func main() {
 	}
 
 	if *all {
-		results, err := p.ProfileSuite(*suite)
+		results, err := p.ProfileSuite(ctx, *suite)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -167,11 +184,11 @@ func main() {
 	}
 
 	if *compare {
-		compareGPUs(app, *level, *sms, *ff, tracer, registry)
+		compareGPUs(ctx, app, *level, *sms, *ff, tracer, registry)
 		return
 	}
 
-	res, err := p.ProfileApp(app)
+	res, err := p.ProfileApp(ctx, app)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -213,6 +230,38 @@ func main() {
 }
 
 // printSweep prints one aggregate line per app of a -all suite sweep.
+// remoteProfile builds a v1 JobRequest from the CLI flags, submits it to a
+// gpuprofd daemon, waits for the terminal state, and prints the report.
+func remoteProfile(ctx context.Context, base, suite, appName, gpuID string,
+	level int, raw, hwpm bool, replayWorkers int, replayCache, ff *bool, timeout time.Duration) {
+	if appName == "" {
+		fatalf("missing -app (remote mode profiles one app; try -list)")
+	}
+	req := &gputopdown.JobRequest{
+		Suite:         suite,
+		App:           appName,
+		GPU:           gpuID,
+		Level:         level,
+		RawEquations:  raw,
+		ReplayWorkers: replayWorkers,
+		ReplayCache:   replayCache,
+		FastForward:   ff,
+		TimeoutMS:     timeout.Milliseconds(),
+	}
+	if hwpm {
+		req.Mode = "hwpm"
+	}
+	rep, err := gputopdown.SubmitAndWait(ctx, base, req, 200*time.Millisecond)
+	if err != nil {
+		fatalf("remote profile: %v", err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println(string(data))
+}
+
 func printSweep(results []*gputopdown.AppResult, overhead bool) {
 	fmt.Printf("%-28s %10s %7s %7s %7s %7s %9s\n",
 		"app", "cycles", "retire", "diverg", "front", "back", "overhead")
@@ -247,7 +296,7 @@ func printOverhead(res *gputopdown.AppResult) {
 // compareGPUs reproduces the paper's architecture-vs-architecture reading of
 // the hierarchy (§V.B): the same application on Pascal and Turing,
 // component by component.
-func compareGPUs(app *gputopdown.App, level, sms int, ff bool, tracer *gputopdown.Tracer, registry *gputopdown.MetricsRegistry) {
+func compareGPUs(ctx context.Context, app *gputopdown.App, level, sms int, ff bool, tracer *gputopdown.Tracer, registry *gputopdown.MetricsRegistry) {
 	type row struct {
 		name string
 		pick func(a *gputopdown.Analysis) float64
@@ -274,7 +323,7 @@ func compareGPUs(app *gputopdown.App, level, sms int, ff bool, tracer *gputopdow
 			opts = append(opts, gputopdown.WithObserver(tracer, registry))
 		}
 		p := gputopdown.NewProfiler(spec, opts...)
-		res, err := p.ProfileApp(app)
+		res, err := p.ProfileApp(ctx, app)
 		if err != nil {
 			fatalf("%s: %v", id, err)
 		}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -66,7 +67,7 @@ func main() {
 			fatalf("variant %s=%s: %v", *param, v, err)
 		}
 		p := gputopdown.NewProfiler(&spec, gputopdown.WithLevel(*level))
-		res, err := p.ProfileApp(app)
+		res, err := p.ProfileApp(context.Background(), app)
 		if err != nil {
 			fatalf("%v", err)
 		}

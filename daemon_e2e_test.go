@@ -1,0 +1,150 @@
+package gputopdown
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// startDaemon builds a real JobRunner-backed daemon on a free port and
+// returns a client for it. The caller owns Drain (via cleanup).
+func startDaemon(t *testing.T, workers int) (*JobServer, *JobClient) {
+	t.Helper()
+	runner := NewJobRunner("rtx4000")
+	srv, err := NewJobServer(JobServerOptions{
+		Runner:  runner.Run,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Drain(ctx) //nolint:errcheck // tests that drained already get the double-drain error
+	})
+	return srv, &JobClient{Base: "http://" + srv.Addr()}
+}
+
+// waitState polls until the job reaches want (or any terminal state) and
+// returns the status.
+func waitState(t *testing.T, c *JobClient, id string, want JobState, timeout time.Duration) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want || st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s waiting for %s", id, st.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonReportBitIdentical: a report fetched over the daemon's HTTP
+// API equals the direct library run byte for byte once the only
+// non-deterministic field (wall_seconds) is zeroed — the service layer
+// adds no perturbation.
+func TestDaemonReportBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	app, err := GetApp("altis", "gups")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NewProfiler(QuadroRTX4000(), WithLevel(3))
+	res, err := direct.ProfileApp(ctx, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Report()
+	want.WallSeconds = 0
+
+	_, c := startDaemon(t, 1)
+	st, err := c.Submit(ctx, &JobRequest{Suite: "altis", App: "gups", Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID, 20*time.Millisecond); err != nil {
+		t.Fatalf("job did not succeed: %v", err)
+	}
+	got, err := c.Report(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.WallSeconds = 0
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("daemon report differs from direct library run:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestDaemonCancelRunning: DELETE on a job mid-simulation lands within the
+// 2s budget (cancellation is checked inside the pass loop, not just
+// between kernels) and the store records cancelled.
+func TestDaemonCancelRunning(t *testing.T) {
+	ctx := context.Background()
+	_, c := startDaemon(t, 1)
+	// gemm at level 3 replays one large kernel ~8 times: tens of seconds
+	// of work, so the cancel provably interrupts rather than outraces it.
+	st, err := c.Submit(ctx, &JobRequest{Suite: "altis", App: "gemm", Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, st.ID, StateRunning, 10*time.Second)
+
+	cancelled := time.Now()
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, c, st.ID, StateCancelled, 2*time.Second)
+	if final.State != StateCancelled {
+		t.Fatalf("job after DELETE = %s (%s), want cancelled", final.State, final.Error)
+	}
+	if d := time.Since(cancelled); d > 2*time.Second {
+		t.Errorf("cancellation took %v, want under 2s", d)
+	}
+}
+
+// TestDaemonDrainWaitsForRunningJob: Drain (the SIGTERM path in
+// cmd/gpuprofd) lets the in-flight job finish, then stops cleanly without
+// leaking goroutines.
+func TestDaemonDrainWaitsForRunningJob(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx := context.Background()
+	srv, c := startDaemon(t, 1)
+	st, err := c.Submit(ctx, &JobRequest{Suite: "altis", App: "gemm", Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, st.ID, StateRunning, 10*time.Second)
+
+	dctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	final, err := srv.Store().Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateSucceeded {
+		t.Errorf("running job after graceful drain = %s (%s), want succeeded", final.State, final.Error)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d > %d before test: drain leaked", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -20,6 +20,13 @@ var (
 	ErrNoKernels = errors.New("application launched no kernels")
 )
 
+// ErrKernelPanic marks a kernel invocation whose simulation panicked. The
+// panic is isolated to that invocation: the device is reset and the rest of
+// the application keeps profiling, with the failure recorded on
+// AppResult.Failed (or returned, wrapped in a *KernelError, when every
+// kernel fails). Test with errors.Is.
+var ErrKernelPanic = cupti.ErrKernelPanic
+
 // KernelError is the structured failure of one kernel invocation under
 // profiling: which kernel, which replay pass (or -1 when the failure was not
 // tied to a pass), and the underlying cause. Profile* methods wrap it, so

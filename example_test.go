@@ -1,6 +1,7 @@
 package gputopdown_test
 
 import (
+	"context"
 	"fmt"
 
 	"gputopdown"
@@ -16,7 +17,7 @@ func ExampleProfiler_ProfileApp() {
 	profiler := gputopdown.NewProfiler(spec, gputopdown.WithLevel(1))
 
 	app, _ := gputopdown.LookupApp("altis", "maxflops")
-	res, err := profiler.ProfileApp(app)
+	res, err := profiler.ProfileApp(context.Background(), app)
 	if err != nil {
 		panic(err)
 	}
@@ -38,7 +39,7 @@ func ExampleProfiler_ProfileApp_pascal() {
 	profiler := gputopdown.NewProfiler(spec, gputopdown.WithLevel(3))
 
 	app, _ := gputopdown.LookupApp("shoc", "triad")
-	res, err := profiler.ProfileApp(app)
+	res, err := profiler.ProfileApp(context.Background(), app)
 	if err != nil {
 		panic(err)
 	}
@@ -57,7 +58,7 @@ func ExampleAppResult_Series() {
 	profiler := gputopdown.NewProfiler(spec, gputopdown.WithLevel(1))
 
 	app, _ := gputopdown.LookupApp("rodinia", "srad_v1")
-	res, err := profiler.ProfileApp(app)
+	res, err := profiler.ProfileApp(context.Background(), app)
 	if err != nil {
 		panic(err)
 	}

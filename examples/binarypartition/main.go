@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 	fmt.Printf("%6s %8s %8s %8s %8s | %8s %8s\n",
 		"tile", "retire", "diverg", "front", "back", "branch", "memory")
 	for _, app := range gputopdown.SuiteApps("cudasamples") {
-		res, err := profiler.ProfileApp(app)
+		res, err := profiler.ProfileApp(context.Background(), app)
 		if err != nil {
 			log.Fatal(err)
 		}

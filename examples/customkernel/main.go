@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,7 +73,7 @@ func main() {
 
 	spec := gputopdown.QuadroRTX4000().WithSMs(8)
 	profiler := gputopdown.NewProfiler(spec, gputopdown.WithLevel(3))
-	res, err := profiler.ProfileApp(app)
+	res, err := profiler.ProfileApp(context.Background(), app)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -17,7 +18,7 @@ func main() {
 	// invocations stay cheap.
 	profiler := gputopdown.NewProfiler(spec, gputopdown.WithLevel(1))
 
-	res, err := profiler.ProfileApp(gputopdown.SradDynamic())
+	res, err := profiler.ProfileApp(context.Background(), gputopdown.SradDynamic())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 	if !ok {
 		log.Fatal("rodinia/hotspot not found")
 	}
-	res, err := profiler.ProfileApp(app)
+	res, err := profiler.ProfileApp(context.Background(), app)
 	if err != nil {
 		log.Fatal(err)
 	}

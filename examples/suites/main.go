@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,7 +23,7 @@ func main() {
 			spec = spec.WithSMs(*sms)
 		}
 		profiler := gputopdown.NewProfiler(spec, gputopdown.WithLevel(2))
-		results, err := profiler.ProfileSuite(*suite)
+		results, err := profiler.ProfileSuite(context.Background(), *suite)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -70,7 +71,7 @@ func main() {
 
 	spec := gputopdown.QuadroRTX4000().WithSMs(8)
 	profiler := gputopdown.NewProfiler(spec, gputopdown.WithLevel(2))
-	points, err := profiler.Timeline(app, "stream_then_compute", 0, 500)
+	points, err := profiler.Timeline(context.Background(), app, "stream_then_compute", 0, 500)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -327,7 +327,7 @@ func (s *Session) ProfileCtx(ctx context.Context, l *kernel.Launch) (*KernelReco
 	}
 	if s.sampleEvery > 1 {
 		if inv := s.invocations[l.Program.Name]; inv%s.sampleEvery != 0 {
-			return s.profileSkipped(l, inv)
+			return s.profileSkipped(ctx, l, inv)
 		}
 	}
 	passes := s.sched.Passes
@@ -467,7 +467,7 @@ func (s *Session) runPassesSequential(ctx context.Context, l *kernel.Launch, sna
 			s.tracer.Complete(obs.PIDProfiler, 1, "cupti", "flush",
 				flushStart, map[string]any{"flush_cycles": s.flushCycles()})
 		}
-		res, err := s.dev.Launch(l)
+		res, err := safeLaunch(ctx, s.dev, l)
 		if err != nil {
 			return nil, &KernelError{Kernel: l.Program.Name, Pass: i, Err: err}
 		}
@@ -541,7 +541,7 @@ func (s *Session) runPassesParallel(ctx context.Context, l *kernel.Launch, snap 
 		// carry allocations from a previous invocation.
 		dev.Storage.AdoptSnapshot(snap)
 		dev.FlushCaches()
-		res, err := dev.Launch(l)
+		res, err := safeLaunch(ctx, dev, l)
 		if err != nil {
 			errs[i] = err
 			return
@@ -659,9 +659,9 @@ func (s *Session) profileCached(l *kernel.Launch, e *replayEntry, profStart floa
 
 // profileSkipped runs an unsampled invocation once, natively, and reuses the
 // kernel's most recent sampled values.
-func (s *Session) profileSkipped(l *kernel.Launch, inv int) (*KernelRecord, error) {
+func (s *Session) profileSkipped(ctx context.Context, l *kernel.Launch, inv int) (*KernelRecord, error) {
 	skipStart := s.tracer.Now()
-	res, err := s.dev.Launch(l)
+	res, err := safeLaunch(ctx, s.dev, l)
 	if err != nil {
 		return nil, &KernelError{Kernel: l.Program.Name, Pass: -1,
 			Err: fmt.Errorf("skipped invocation: %w", err)}

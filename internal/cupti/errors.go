@@ -1,6 +1,36 @@
 package cupti
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/sim"
+)
+
+// ErrKernelPanic marks a kernel invocation whose simulation panicked (wild
+// memory access, unhandled opcode, resource-accounting bug). The panic is
+// confined to the one invocation: the device is reset to idle and the
+// application's remaining kernels keep profiling. Test with
+// errors.Is(err, ErrKernelPanic); the enclosing *KernelError names the
+// kernel and pass.
+var ErrKernelPanic = errors.New("kernel panicked")
+
+// safeLaunch runs one launch under ctx with per-kernel panic isolation: a
+// panic anywhere inside the simulator is recovered, the device's SMs are
+// rebuilt to idle (global/constant memory keep the panicked kernel's partial
+// writes — deterministically, as the panic point is reproducible), and the
+// failure is reported as an error wrapping ErrKernelPanic.
+func safeLaunch(ctx context.Context, dev *sim.Device, l *kernel.Launch) (res *sim.RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			dev.ResetSMs()
+			err = fmt.Errorf("%w: %v", ErrKernelPanic, r)
+		}
+	}()
+	return dev.LaunchCtx(ctx, l)
+}
 
 // KernelError is the structured failure of one kernel invocation under
 // profiling: which kernel, which replay pass, and the underlying cause. It is

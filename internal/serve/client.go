@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to a gpuprofd daemon over its v1 HTTP API. The zero value
+// is unusable; set Base (e.g. "http://127.0.0.1:8791"). HTTP defaults to
+// http.DefaultClient.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// ErrJobFailed reports a job that reached a terminal state other than
+// succeeded while being waited on; the wrapping message carries the
+// daemon-side error string.
+var ErrJobFailed = errors.New("job did not succeed")
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues the request and decodes a JSON body into out (when non-nil).
+// Non-2xx responses become errors carrying the server's "error" field.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("serve client: encode %s %s: %w", method, path, err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return fmt.Errorf("serve client: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("serve client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return fmt.Errorf("serve client: %s %s: %s (HTTP %d)", method, path, msg, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve client: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// Submit posts a job and returns its initial status.
+func (c *Client) Submit(ctx context.Context, req *JobRequest) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/api/v1/jobs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches the current status of a job.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List fetches every job's status in submission order.
+func (c *Client) List(ctx context.Context) ([]*JobStatus, error) {
+	var out struct {
+		Jobs []*JobStatus `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Report fetches the report of a succeeded job (the server answers 409
+// until then, which surfaces here as an error).
+func (c *Client) Report(ctx context.Context, id string) (*Report, error) {
+	var rep Report
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/report", nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Cancel requests cancellation and returns the post-cancel status (the job
+// may still be "running" briefly while the cancellation lands).
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls every poll interval until the job reaches a terminal state or
+// ctx expires. It returns the terminal status; a non-succeeded terminal
+// state also returns an error wrapping ErrJobFailed.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			if st.State != StateSucceeded {
+				return st, fmt.Errorf("serve client: job %s %s: %s: %w", id, st.State, st.Error, ErrJobFailed)
+			}
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return st, fmt.Errorf("serve client: wait %s: %w", id, ctx.Err())
+		}
+	}
+}

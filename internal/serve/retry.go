@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Clock abstracts time for the retry machinery so tests drive backoff with
+// a fake clock and zero wall-time.
+type Clock interface {
+	Now() time.Time
+	// After behaves like time.After. Implementations must deliver on a
+	// buffered channel so an abandoned wait (context won the select) does
+	// not leak a goroutine.
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// ErrPermanent marks an error that must not be retried regardless of
+// attempts remaining — wrong app name, invalid request, a deterministic
+// simulator failure that would reproduce bit-identically. Wrap with
+// MarkPermanent; the retry loop tests errors.Is(err, ErrPermanent).
+var ErrPermanent = errors.New("permanent failure")
+
+// MarkPermanent wraps err so Retryable reports false while errors.Is /
+// errors.As still reach the original chain (the %w is on err itself, so
+// errors.Is(marked, ErrUnknownApp) keeps working).
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+// Unwrap exposes both the marker and the cause, so errors.Is finds either.
+func (e *permanentError) Unwrap() []error { return []error{ErrPermanent, e.err} }
+
+// Retryable reports whether a run failure is worth another attempt:
+// context cancellation/deadline and permanent-marked errors are not, all
+// other errors are.
+func Retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.Is(err, ErrPermanent):
+		return false
+	}
+	return true
+}
+
+// Backoff computes retry delays: Base·Factor^(attempt-1) capped at Max,
+// plus up to Jitter fraction of the computed delay drawn from Rand. The
+// zero value means "no waiting" (all delays zero) — useful in tests.
+type Backoff struct {
+	Base   time.Duration
+	Factor float64
+	Max    time.Duration
+	// Jitter in [0,1) adds Rand()·Jitter·delay on top. Rand defaults to a
+	// constant 0 (no jitter) so behaviour is deterministic unless a source
+	// is supplied.
+	Jitter float64
+	Rand   func() float64
+}
+
+// DefaultBackoff is the daemon's retry schedule: 250ms·2^n capped at 10s,
+// ±20% jitter.
+func DefaultBackoff(rand func() float64) Backoff {
+	return Backoff{Base: 250 * time.Millisecond, Factor: 2, Max: 10 * time.Second, Jitter: 0.2, Rand: rand}
+}
+
+// Delay returns the wait before retry number attempt (attempt 1 = delay
+// before the second run).
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 || attempt <= 0 {
+		return 0
+	}
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= b.Factor
+		if b.Max > 0 && d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 && b.Rand != nil {
+		d += b.Rand() * b.Jitter * d
+	}
+	return time.Duration(d)
+}
+
+// runWithRetry executes run up to maxAttempts times, sleeping
+// backoff.Delay between failed attempts via clock (or returning early when
+// ctx is done). onRetry is invoked before each re-run with the upcoming
+// attempt number (2-based). The returned error joins every attempt's
+// failure so errors.Is / errors.As unwrap through the whole history.
+func runWithRetry(ctx context.Context, maxAttempts int, backoff Backoff, clock Clock,
+	run func(attempt int) (*Report, error), onRetry func(attempt int)) (*Report, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var attempts []error
+	for attempt := 1; ; attempt++ {
+		rep, err := run(attempt)
+		if err == nil {
+			return rep, nil
+		}
+		attempts = append(attempts, fmt.Errorf("attempt %d: %w", attempt, err))
+		if attempt >= maxAttempts || !Retryable(err) {
+			return nil, errors.Join(attempts...)
+		}
+		select {
+		case <-clock.After(backoff.Delay(attempt)):
+		case <-ctx.Done():
+			attempts = append(attempts, fmt.Errorf("retry wait: %w", context.Cause(ctx)))
+			return nil, errors.Join(attempts...)
+		}
+		if onRetry != nil {
+			onRetry(attempt + 1)
+		}
+	}
+}

@@ -1,0 +1,515 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock delivers After immediately while recording the requested
+// waits, so backoff tests are deterministic and take zero wall time.
+type fakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	waits []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	c.waits = append(c.waits, d)
+	c.now = c.now.Add(d)
+	now := c.now
+	c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	ch <- now
+	return ch
+}
+
+func (c *fakeClock) recorded() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.waits...)
+}
+
+func testReport(req *JobRequest) *Report {
+	return &Report{
+		APIVersion:     APIVersion,
+		App:            req.App,
+		Suite:          req.Suite,
+		GPU:            "TEST GPU",
+		Passes:         3,
+		NativeCycles:   1000,
+		ProfiledCycles: 3000,
+		Kernels:        []KernelReport{{Kernel: "k", Invocation: 0, Cycles: 1000}},
+	}
+}
+
+func okRunner(ctx context.Context, req *JobRequest) (*Report, error) {
+	return testReport(req), nil
+}
+
+func request() *JobRequest { return &JobRequest{Suite: "altis", App: "gups"} }
+
+func mustServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Runner == nil {
+		opts.Runner = okRunner
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // second Drain in tests that drained already
+	})
+	return s
+}
+
+// TestSubmitPollReport drives the full happy path over real HTTP:
+// submit → wait → report, and checks the terminal status metadata.
+func TestSubmitPollReport(t *testing.T) {
+	s := mustServer(t, Options{Workers: 2})
+	h := httptest.NewServer(s.Handler())
+	defer h.Close()
+	c := &Client{Base: h.URL}
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Request.APIVersion != APIVersion {
+		t.Fatalf("submit status %+v lacks id or echoed api_version", st)
+	}
+
+	st, err = c.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateSucceeded || st.Attempt != 1 || st.StartedAt == nil || st.FinishedAt == nil {
+		t.Fatalf("terminal status %+v, want succeeded attempt 1 with timestamps", st)
+	}
+
+	rep, err := c.Report(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, testReport(request())) {
+		t.Errorf("report round-trip mismatch:\ngot  %+v\nwant %+v", rep, testReport(request()))
+	}
+
+	if _, err := c.Report(ctx, "job-999999"); err == nil {
+		t.Error("report of unknown job did not error")
+	}
+	if _, err := c.Status(ctx, "job-999999"); err == nil {
+		t.Error("status of unknown job did not error")
+	}
+}
+
+// TestSubmitValidation: schema violations come back as 400/ErrBadRequest
+// without ever reaching the queue.
+func TestSubmitValidation(t *testing.T) {
+	s := mustServer(t, Options{})
+	cases := []*JobRequest{
+		{},                                       // no suite
+		{Suite: "altis"},                         // no app
+		{Suite: "a", App: "b", Level: 9},         // level out of range
+		{Suite: "a", App: "b", Mode: "wrong"},    // bad mode
+		{Suite: "a", App: "b", TimeoutMS: -1},    // negative timeout
+		{Suite: "a", App: "b", APIVersion: "v2"}, // future version
+	}
+	for i, req := range cases {
+		if _, err := s.Submit(req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("case %d: Submit(%+v) = %v, want ErrBadRequest", i, req, err)
+		}
+	}
+	if len(s.Store().List()) != 0 {
+		t.Error("invalid submissions reached the store")
+	}
+}
+
+// TestCancelRunning: DELETE on a running job lands within the 2s budget
+// and records the cancelled state with ErrJobCancelled as cause.
+func TestCancelRunning(t *testing.T) {
+	started := make(chan struct{})
+	s := mustServer(t, Options{
+		Runner: func(ctx context.Context, req *JobRequest) (*Report, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, context.Cause(ctx)
+		},
+	})
+	st, err := s.Submit(request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := s.Store().Cancel(st.ID, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		cur, _ := s.Store().Status(st.ID)
+		if cur.State.Terminal() {
+			if cur.State != StateCancelled {
+				t.Fatalf("cancelled job ended %s (%s), want cancelled", cur.State, cur.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s 2s after cancel", cur.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCancelQueued: a job deleted before any worker claims it goes
+// straight to cancelled and is skipped by the pool.
+func TestCancelQueued(t *testing.T) {
+	gate := make(chan struct{})
+	ran := make(chan string, 8)
+	s := mustServer(t, Options{
+		Workers: 1,
+		Runner: func(ctx context.Context, req *JobRequest) (*Report, error) {
+			ran <- req.App
+			<-gate
+			return testReport(req), nil
+		},
+	})
+	first, err := s.Submit(request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ran // worker is now blocked inside job 1
+	second, err := s.Submit(&JobRequest{Suite: "altis", App: "fft"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Store().Cancel(second.ID, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("queued job after cancel = %s, want cancelled immediately", st.State)
+	}
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Store().Status(first.ID); got.State != StateSucceeded {
+		t.Errorf("first job = %s, want succeeded", got.State)
+	}
+	select {
+	case app := <-ran:
+		t.Errorf("cancelled queued job %s still ran", app)
+	default:
+	}
+}
+
+// TestDeadline: a per-job timeout_ms fails the job with
+// context.DeadlineExceeded, not cancelled.
+func TestDeadline(t *testing.T) {
+	s := mustServer(t, Options{
+		Runner: func(ctx context.Context, req *JobRequest) (*Report, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	st, err := s.Submit(&JobRequest{Suite: "altis", App: "gups", TimeoutMS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		cur, _ := s.Store().Status(st.ID)
+		if cur.State.Terminal() {
+			if cur.State != StateFailed {
+				t.Fatalf("timed-out job = %s, want failed", cur.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed-out job did not terminate")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRetryBackoffDeterministic: with a fake clock and a fixed jitter
+// source, the retry schedule is exactly reproducible and the job succeeds
+// on its final allowed attempt.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	clock := newFakeClock()
+	var calls int
+	var mu sync.Mutex
+	jitter := []float64{0.5, 1.0 - 1e-9}
+	ji := 0
+	s := mustServer(t, Options{
+		Clock: clock,
+		Backoff: Backoff{
+			Base: 100 * time.Millisecond, Factor: 2, Max: time.Second,
+			Jitter: 0.5,
+			Rand: func() float64 {
+				v := jitter[ji%len(jitter)]
+				ji++
+				return v
+			},
+		},
+		Runner: func(ctx context.Context, req *JobRequest) (*Report, error) {
+			mu.Lock()
+			calls++
+			n := calls
+			mu.Unlock()
+			if n < 3 {
+				return nil, fmt.Errorf("transient failure %d", n)
+			}
+			return testReport(req), nil
+		},
+	})
+	st, err := s.Submit(&JobRequest{Suite: "altis", App: "gups", MaxAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cur, _ := s.Store().Status(st.ID)
+		if cur.State.Terminal() {
+			if cur.State != StateSucceeded || cur.Attempt != 3 {
+				t.Fatalf("retried job = %s attempt %d (%s), want succeeded on attempt 3",
+					cur.State, cur.Attempt, cur.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retried job did not terminate")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// delay(1) = 100ms + 0.5·0.5·100ms = 125ms; delay(2) = 200ms + ~0.5·200ms.
+	want := []time.Duration{125 * time.Millisecond, 300*time.Millisecond - 1}
+	got := clock.recorded()
+	if len(got) != len(want) {
+		t.Fatalf("recorded waits %v, want %d waits", got, len(want))
+	}
+	for i := range want {
+		if d := got[i] - want[i]; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("wait %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRetryPermanent: a MarkPermanent failure stops after one attempt and
+// the original sentinel still unwraps through attempt wrapper + Join.
+func TestRetryPermanent(t *testing.T) {
+	sentinel := errors.New("no such app")
+	var calls int
+	var mu sync.Mutex
+	s := mustServer(t, Options{
+		Clock: newFakeClock(),
+		Runner: func(ctx context.Context, req *JobRequest) (*Report, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			return nil, MarkPermanent(fmt.Errorf("lookup %s: %w", req.App, sentinel))
+		},
+	})
+	st, err := s.Submit(&JobRequest{Suite: "altis", App: "nope", MaxAttempts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cur, _ := s.Store().Status(st.ID)
+		if cur.State.Terminal() {
+			if cur.State != StateFailed || cur.Attempt != 1 {
+				t.Fatalf("permanent failure = %s attempt %d, want failed attempt 1", cur.State, cur.Attempt)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not terminate")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("permanent failure ran %d times, want 1", calls)
+	}
+}
+
+// TestRunWithRetryUnwrap: the joined multi-attempt error keeps errors.Is /
+// errors.As working for the per-attempt causes.
+func TestRunWithRetryUnwrap(t *testing.T) {
+	sentinel := errors.New("backend blew up")
+	clock := newFakeClock()
+	_, err := runWithRetry(context.Background(), 3, Backoff{}, clock,
+		func(attempt int) (*Report, error) {
+			return nil, fmt.Errorf("run %d: %w", attempt, sentinel)
+		}, nil)
+	if err == nil {
+		t.Fatal("exhausted retries returned nil error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is through join+wrap lost the sentinel: %v", err)
+	}
+}
+
+// TestQueueFull: submissions beyond QueueDepth are rejected, not queued
+// unbounded.
+func TestQueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	s := mustServer(t, Options{
+		Workers:    1,
+		QueueDepth: 1,
+		Runner: func(ctx context.Context, req *JobRequest) (*Report, error) {
+			<-gate
+			return testReport(req), nil
+		},
+	})
+	// Worker takes the first; the single queue slot holds the second; the
+	// third must bounce. Submitting the first may race the worker pickup,
+	// so allow a brief settle.
+	if _, err := s.Submit(request()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := s.Submit(request()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(request()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestDrainGraceful: Drain lets the running job finish, cancels queued
+// jobs, rejects new submissions, and leaks no goroutines.
+func TestDrainGraceful(t *testing.T) {
+	before := runtime.NumGoroutine()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	s, err := New(Options{
+		Workers: 1,
+		Runner: func(ctx context.Context, req *JobRequest) (*Report, error) {
+			select {
+			case <-started:
+			default:
+				close(started)
+			}
+			<-gate
+			return testReport(req), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{Base: "http://" + s.Addr()}
+	ctx := context.Background()
+
+	running, err := c.Submit(ctx, request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := c.Submit(ctx, &JobRequest{Suite: "altis", App: "fft"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(dctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Drain gate submissions
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned (%v) while a job was still running", err)
+	default:
+	}
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	if got, _ := s.Store().Status(running.ID); got.State != StateSucceeded {
+		t.Errorf("running job after drain = %s, want succeeded", got.State)
+	}
+	if got, _ := s.Store().Status(queued.ID); got.State != StateCancelled {
+		t.Errorf("queued job after drain = %s, want cancelled", got.State)
+	}
+	if _, err := s.Submit(request()); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit after drain = %v, want ErrDraining", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d > %d before test: drain leaked", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDrainDeadline: when running jobs outlive the drain context, their
+// contexts are cancelled and Drain still returns with the pool stopped.
+func TestDrainDeadline(t *testing.T) {
+	s, err := New(Options{
+		Runner: func(ctx context.Context, req *JobRequest) (*Report, error) {
+			<-ctx.Done()
+			return nil, context.Cause(ctx)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Submit(request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning := time.Now().Add(2 * time.Second)
+	for {
+		cur, _ := s.Store().Status(st.ID)
+		if cur.State == StateRunning {
+			break
+		}
+		if time.Now().After(waitRunning) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("Drain after deadline: %v", err)
+	}
+	cur, _ := s.Store().Status(st.ID)
+	if !cur.State.Terminal() {
+		t.Errorf("job after deadline drain = %s, want terminal", cur.State)
+	}
+}

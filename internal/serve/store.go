@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrUnknownJob reports a job ID the store has never seen.
+var ErrUnknownJob = errors.New("unknown job")
+
+// ErrJobCancelled is the cancellation cause installed when a client DELETEs
+// a job; it distinguishes client cancellation from a deadline when both
+// surface as context errors inside the run.
+var ErrJobCancelled = errors.New("job cancelled by client")
+
+// job is the store's mutable record. All fields after the immutable header
+// are guarded by the store mutex; snapshots are taken under it.
+type job struct {
+	id          string
+	req         *JobRequest
+	submittedAt time.Time
+
+	state       JobState
+	attempt     int
+	maxAttempts int
+	err         error
+	startedAt   time.Time
+	finishedAt  time.Time
+
+	// cancel aborts the running attempt with ErrJobCancelled as cause; nil
+	// unless the job is running.
+	cancel context.CancelCauseFunc
+	// report is set exactly once, on success.
+	report *Report
+}
+
+// Store is the in-memory job registry: submission order preserved, statuses
+// snapshotted under a single mutex, safe for concurrent handlers/workers.
+type Store struct {
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*job
+	order []string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{jobs: make(map[string]*job)}
+}
+
+// Add registers a new queued job and returns its ID.
+func (st *Store) Add(req *JobRequest, maxAttempts int, now time.Time) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	id := fmt.Sprintf("job-%06d", st.seq)
+	st.jobs[id] = &job{
+		id:          id,
+		req:         req,
+		submittedAt: now,
+		state:       StateQueued,
+		maxAttempts: maxAttempts,
+	}
+	st.order = append(st.order, id)
+	return id
+}
+
+// snapshot converts the record to its wire form. Caller holds st.mu.
+func (j *job) snapshot() *JobStatus {
+	s := &JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Attempt:     j.attempt,
+		MaxAttempts: j.maxAttempts,
+		SubmittedAt: j.submittedAt,
+		Request:     j.req,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		s.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		s.FinishedAt = &t
+	}
+	return s
+}
+
+// Status returns the wire status of one job.
+func (st *Store) Status(id string) (*JobStatus, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j.snapshot(), nil
+}
+
+// List returns every job's status in submission order.
+func (st *Store) List() []*JobStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*JobStatus, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, st.jobs[id].snapshot())
+	}
+	return out
+}
+
+// Report returns the report of a succeeded job. ok is false when the job
+// exists but has no report yet (not succeeded).
+func (st *Store) Report(id string) (rep *Report, status *JobStatus, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j.report, j.snapshot(), nil
+}
+
+// Cancel moves a queued job straight to cancelled, or signals a running
+// job's context with ErrJobCancelled (the worker then records the terminal
+// state). Cancelling a terminal job is a no-op. Returns the post-cancel
+// status.
+func (st *Store) Cancel(id string, now time.Time) (*JobStatus, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.err = ErrJobCancelled
+		j.finishedAt = now
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel(ErrJobCancelled)
+		}
+	}
+	return j.snapshot(), nil
+}
+
+// claim transitions a queued job to running for a new attempt; returns
+// false when the job was cancelled while queued (or is otherwise not
+// runnable), telling the worker to skip it.
+func (st *Store) claim(id string, cancel context.CancelCauseFunc, now time.Time) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok || j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.attempt = 1
+	j.startedAt = now
+	j.cancel = cancel
+	return true
+}
+
+// retrying bumps the attempt counter before a retry run.
+func (st *Store) retrying(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j, ok := st.jobs[id]; ok {
+		j.attempt++
+	}
+}
+
+// finish records the terminal state of a run. The worker decides the state
+// (succeeded / failed / cancelled); rep is non-nil only for success.
+func (st *Store) finish(id string, state JobState, rep *Report, err error, now time.Time) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return
+	}
+	j.state = state
+	j.report = rep
+	j.err = err
+	j.finishedAt = now
+	j.cancel = nil
+}
+
+// cancelQueued marks every still-queued job cancelled with cause — the
+// drain path: workers skip them when their claim fails. Returns how many.
+func (st *Store) cancelQueued(cause error, now time.Time) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, j := range st.jobs {
+		if j.state == StateQueued {
+			j.state = StateCancelled
+			j.err = cause
+			j.finishedAt = now
+			n++
+		}
+	}
+	return n
+}
+
+// cancelRunning signals every running job's context with cause — the drain
+// deadline path. Returns how many were signalled.
+func (st *Store) cancelRunning(cause error) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, j := range st.jobs {
+		if j.state == StateRunning && j.cancel != nil {
+			j.cancel(cause)
+			n++
+		}
+	}
+	return n
+}
+
+// counts returns the number of jobs per state, for metrics and drain logs.
+func (st *Store) counts() map[JobState]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[JobState]int)
+	for _, j := range st.jobs {
+		out[j.state]++
+	}
+	return out
+}
+
+// ids returns all job IDs sorted, a test convenience.
+func (st *Store) ids() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := append([]string(nil), st.order...)
+	sort.Strings(out)
+	return out
+}

@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -257,10 +258,37 @@ func ctaidOf(linear int, grid kernel.Dim3) [3]int64 {
 	}
 }
 
-// Launch executes one kernel to completion and returns its result.
+// Launch executes one kernel to completion and returns its result. It is
+// LaunchCtx with a background context.
 func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
+	return d.LaunchCtx(context.Background(), l)
+}
+
+// ctxCheckInterval is how many simulation-loop iterations pass between
+// cooperative cancellation checks in LaunchCtx. Each iteration covers at
+// least one SM tick (or a fast-forward jump), so cancellation lands within a
+// small fraction of a kernel — far inside the "~1 replay pass" bound the
+// profiling service promises.
+const ctxCheckInterval = 256
+
+// LaunchCtx is Launch with cooperative cancellation: ctx is consulted every
+// ctxCheckInterval simulation-loop iterations — which includes every
+// fast-forward wakeup boundary, since a jump ends the iteration that took it.
+// On cancellation the SMs are rebuilt to the idle state (ResetSMs), global
+// and constant memory keep whatever intermediate values the aborted kernel
+// wrote, and the returned error wraps ctx.Err. A background (or never
+// cancelled) context pays one nil check per iteration.
+func (d *Device) LaunchCtx(ctx context.Context, l *kernel.Launch) (*RunResult, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
+	}
+	done := ctx.Done()
+	if done != nil {
+		select {
+		case <-done:
+			return nil, fmt.Errorf("sim: kernel %s not launched: %w", l.Program.Name, ctx.Err())
+		default:
+		}
 	}
 	d.launches++
 
@@ -327,7 +355,23 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 		rejected[i] = neverRejected
 	}
 
+	var loopIters uint64
 	for {
+		if done != nil {
+			if loopIters%ctxCheckInterval == 0 {
+				select {
+				case <-done:
+					// Leave the device reusable: the aborted kernel's blocks
+					// are still resident, so rebuild the SMs to idle.
+					d.ResetSMs()
+					return nil, fmt.Errorf("sim: kernel %s cancelled after %d cycles: %w",
+						l.Program.Name, guard, ctx.Err())
+				default:
+				}
+			}
+			loopIters++
+		}
+
 		// Greedy block dispatch, round-robin across SMs for balance.
 		progress := true
 		for progress && next < nb {
@@ -489,6 +533,21 @@ func (d *Device) Launch(l *kernel.Launch) (*RunResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// ResetSMs rebuilds every SM from scratch — idle, cycle zero, cold caches,
+// zeroed counters — and resets the shared L2 and DRAM. Global and constant
+// memory are preserved. This is the recovery path after a kernel panicked or
+// was cancelled mid-launch, when SMs may be left busy with resident blocks
+// that will never retire; the profiling middleware calls it before converting
+// the failure into a KernelError so the device can keep serving the
+// application's remaining kernels.
+func (d *Device) ResetSMs() {
+	for i := range d.SMs {
+		d.SMs[i] = sm.New(d.Spec, i, d.L2, d.DRAM, d.Storage, d.Const)
+	}
+	d.L2.Flush()
+	d.DRAM.Reset()
 }
 
 // MustLaunch is Launch that panics on error, for tests and examples.

@@ -2,6 +2,7 @@ package gputopdown
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -23,7 +24,7 @@ func TestObserverEndToEnd(t *testing.T) {
 	if !ok {
 		t.Fatal("unknown app rodinia/nw")
 	}
-	res, err := p.ProfileApp(app)
+	res, err := p.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestObserverOffByDefault(t *testing.T) {
 	plain := NewProfiler(spec.WithSMs(2), WithLevel(1))
 	observed := NewProfiler(spec.WithSMs(2), WithLevel(1),
 		WithObserver(NewTracer(), NewMetricsRegistry()))
-	a, err := plain.ProfileApp(app)
+	a, err := plain.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := observed.ProfileApp(app)
+	b, err := observed.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}

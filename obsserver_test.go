@@ -2,6 +2,7 @@ package gputopdown
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"reflect"
@@ -35,7 +36,7 @@ func TestObsServerEndToEnd(t *testing.T) {
 	if !ok {
 		t.Fatal("unknown app rodinia/nw")
 	}
-	if _, err := p.ProfileApp(app); err != nil {
+	if _, err := p.ProfileApp(context.Background(), app); err != nil {
 		t.Fatal(err)
 	}
 
@@ -108,7 +109,7 @@ func TestObservabilityResultsBitIdentical(t *testing.T) {
 		t.Fatal("unknown app rodinia/hotspot")
 	}
 	bare := NewProfiler(spec.WithSMs(2), WithLevel(3))
-	want, err := bare.ProfileApp(app)
+	want, err := bare.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestObservabilityResultsBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer observed.Close()
-	got, err := observed.ProfileApp(app)
+	got, err := observed.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestFlameExport(t *testing.T) {
 	if !ok {
 		t.Fatal("unknown app altis/gemm")
 	}
-	res, err := p.ProfileApp(app)
+	res, err := p.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,227 @@
+package gputopdown
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gputopdown/internal/core"
+	"gputopdown/internal/serve"
+)
+
+// Profiling-as-a-service surface. The wire types, store, retry policy, and
+// HTTP server live in internal/serve; this file re-exports them and
+// supplies the one piece serve cannot own without an import cycle: the
+// JobRunner that turns a JobRequest into a profiled Report via the library
+// API. cmd/gpuprofd wires the two together.
+
+// ServeAPIVersion is the daemon's wire-format version ("v1").
+const ServeAPIVersion = serve.APIVersion
+
+// Wire and server types of the job API, shared by the daemon, the CLIs'
+// -remote mode, and library callers.
+type (
+	// JobRequest is the versioned submission body for POST /api/v1/jobs.
+	JobRequest = serve.JobRequest
+	// JobStatus is a job's lifecycle snapshot.
+	JobStatus = serve.JobStatus
+	// JobState is queued/running/succeeded/failed/cancelled.
+	JobState = serve.JobState
+	// JobReport is the versioned profiling result, the wire twin of
+	// AppResult.
+	JobReport = serve.Report
+	// JobClient talks to a gpuprofd daemon over HTTP.
+	JobClient = serve.Client
+	// JobServer is the daemon: HTTP API, job store, worker pool.
+	JobServer = serve.Server
+	// JobServerOptions configures NewJobServer.
+	JobServerOptions = serve.Options
+	// JobBackoff schedules retry delays for failed jobs.
+	JobBackoff = serve.Backoff
+)
+
+// DefaultJobBackoff is the daemon's stock retry schedule (250ms·2ⁿ capped
+// at 10s with ±20% jitter drawn from rand, which may be nil for none).
+func DefaultJobBackoff(rand func() float64) JobBackoff { return serve.DefaultBackoff(rand) }
+
+// Job lifecycle states: queued → running → {succeeded, failed, cancelled}.
+const (
+	StateQueued    = serve.StateQueued
+	StateRunning   = serve.StateRunning
+	StateSucceeded = serve.StateSucceeded
+	StateFailed    = serve.StateFailed
+	StateCancelled = serve.StateCancelled
+)
+
+// NewJobServer builds a daemon server (and starts its worker pool); see
+// serve.Options. Most callers want NewJobRunner's Run as Options.Runner.
+func NewJobServer(opts JobServerOptions) (*JobServer, error) { return serve.New(opts) }
+
+// JobRunner executes job requests through the library API. It caches one
+// Profiler per distinct request configuration so jobs with the same config
+// share a replay cache (repeat submissions hit warm autotune and replay
+// state, like repeated ProfileApp calls on one Profiler).
+type JobRunner struct {
+	defaultGPU string
+	base       []Option
+
+	mu        sync.Mutex
+	profilers map[string]*Profiler
+}
+
+// NewJobRunner returns a runner whose jobs default to the given device id
+// ("gtx1070", "rtx4000") when the request leaves gpu empty. base options
+// (e.g. WithLogger, WithObserver) apply to every profiler it builds, before
+// request-derived options.
+func NewJobRunner(defaultGPU string, base ...Option) *JobRunner {
+	return &JobRunner{
+		defaultGPU: defaultGPU,
+		base:       base,
+		profilers:  make(map[string]*Profiler),
+	}
+}
+
+// profilerFor returns the cached Profiler for the request's configuration,
+// building it on first use.
+func (jr *JobRunner) profilerFor(req *JobRequest) (*Profiler, error) {
+	gpuID := req.GPU
+	if gpuID == "" {
+		gpuID = jr.defaultGPU
+	}
+	spec, ok := LookupGPU(gpuID)
+	if !ok {
+		return nil, serve.MarkPermanent(fmt.Errorf("gputopdown: unknown gpu %q", gpuID))
+	}
+	key := fmt.Sprintf("%s|%d|%s|%t|%d|%d|%v|%v",
+		gpuID, req.Level, req.Mode, req.RawEquations, req.SampleEvery,
+		req.ReplayWorkers, req.ReplayCache, req.FastForward)
+
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	if p, ok := jr.profilers[key]; ok {
+		return p, nil
+	}
+	opts := append([]Option(nil), jr.base...)
+	if req.Level > 0 {
+		opts = append(opts, WithLevel(req.Level))
+	}
+	if req.Mode == "hwpm" {
+		opts = append(opts, WithHWPM())
+	}
+	if req.RawEquations {
+		opts = append(opts, WithRawEquations())
+	}
+	if req.SampleEvery > 0 {
+		opts = append(opts, WithSampling(req.SampleEvery))
+	}
+	if req.ReplayWorkers > 0 {
+		opts = append(opts, WithReplayWorkers(req.ReplayWorkers))
+	}
+	if req.ReplayCache != nil {
+		opts = append(opts, WithReplayCache(*req.ReplayCache))
+	}
+	if req.FastForward != nil {
+		opts = append(opts, WithFastForward(*req.FastForward))
+	}
+	p, err := NewProfilerE(spec, opts...)
+	if err != nil {
+		return nil, serve.MarkPermanent(err)
+	}
+	jr.profilers[key] = p
+	return p, nil
+}
+
+// Run is the serve.Runner: resolve the app, profile it under ctx, convert
+// the result. Unknown suite/app/gpu and invalid configurations are marked
+// permanent so the daemon does not retry them; errors.Is still reaches
+// ErrUnknownSuite / ErrUnknownApp through the marker.
+func (jr *JobRunner) Run(ctx context.Context, req *JobRequest) (*serve.Report, error) {
+	app, err := GetApp(req.Suite, req.App)
+	if err != nil {
+		return nil, serve.MarkPermanent(err)
+	}
+	p, err := jr.profilerFor(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.ProfileApp(ctx, app)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		// Deterministic simulator: the same request reproduces the same
+		// failure bit-identically, so retrying is wasted work.
+		return nil, serve.MarkPermanent(err)
+	}
+	return res.Report(), nil
+}
+
+// serveAnalysis converts a core analysis to its wire form (the same schema
+// Analysis.JSON emits).
+func serveAnalysis(a *core.Analysis) *serve.Analysis {
+	if a == nil {
+		return nil
+	}
+	return &serve.Analysis{
+		Kernel:     a.Kernel,
+		GPU:        a.GPU,
+		CC:         a.CC.String(),
+		Tool:       a.Tool,
+		Level:      a.Level,
+		Normalized: a.Normalized,
+		IPCMax:     a.IPCMax,
+		Components: a.Rows(),
+		Metrics:    a.Metrics,
+	}
+}
+
+// Report converts the result to its versioned wire form. Everything except
+// WallSeconds is deterministic: two identical runs produce byte-identical
+// reports once wall_seconds is zeroed.
+func (r *AppResult) Report() *JobReport {
+	rep := &serve.Report{
+		APIVersion:     serve.APIVersion,
+		App:            r.App,
+		Suite:          r.Suite,
+		GPU:            r.GPU,
+		Passes:         r.Passes,
+		NativeCycles:   r.NativeCycles,
+		ProfiledCycles: r.ProfiledCycles,
+		WallSeconds:    r.WallSeconds,
+		Aggregate:      serveAnalysis(r.Aggregate),
+	}
+	for _, k := range r.Kernels {
+		rep.Kernels = append(rep.Kernels, serve.KernelReport{
+			Kernel:     k.Kernel,
+			Invocation: k.Invocation,
+			Cycles:     k.Cycles,
+			Analysis:   serveAnalysis(k.Analysis),
+		})
+	}
+	for _, ke := range r.Failed {
+		rep.Failed = append(rep.Failed, serve.KernelFailure{
+			Kernel: ke.Kernel,
+			Pass:   ke.Pass,
+			Error:  ke.Err.Error(),
+		})
+	}
+	return rep
+}
+
+// SubmitAndWait is the one-call remote path the CLIs' -remote flag uses:
+// submit the request to the daemon at base, poll until terminal, and fetch
+// the report on success.
+func SubmitAndWait(ctx context.Context, base string, req *JobRequest, poll time.Duration) (*JobReport, error) {
+	c := &JobClient{Base: base}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	id := st.ID
+	if _, err := c.Wait(ctx, id, poll); err != nil {
+		return nil, fmt.Errorf("job %s: %w", id, err)
+	}
+	return c.Report(ctx, id)
+}

@@ -13,8 +13,12 @@
 //	p := gputopdown.NewProfiler(gputopdown.QuadroRTX4000(),
 //	        gputopdown.WithLevel(3))
 //	app, _ := gputopdown.LookupApp("rodinia", "srad_v2")
-//	res, _ := p.ProfileApp(app)
+//	res, _ := p.ProfileApp(context.Background(), app)
 //	fmt.Print(res.Aggregate)
+//
+// The API is context-first: every Profile* method takes a context.Context as
+// its first argument, honouring cancellation and deadlines mid-run. The
+// former *Ctx names remain as deprecated wrappers.
 //
 // Devices are simulated (see DESIGN.md for the substitution argument), so
 // results are bit-reproducible and need no GPU hardware.
@@ -397,6 +401,10 @@ type AppResult struct {
 	// Roofline is the app-level instruction-roofline placement, present
 	// when the profiler was built WithRoofline.
 	Roofline *core.Roofline
+	// Failed holds the kernels whose simulation panicked and was isolated
+	// (each wraps ErrKernelPanic); the rest of the application completed
+	// without them. Empty on a clean run.
+	Failed []*KernelError
 }
 
 // Overhead returns ProfiledCycles/NativeCycles.
@@ -433,19 +441,30 @@ func (r *AppResult) KernelNames() []string {
 }
 
 // ProfileApp runs one application on a fresh simulated device under the
-// profiler and returns its Top-Down results. It is ProfileAppCtx with a
-// background context.
-func (p *Profiler) ProfileApp(app *workloads.App) (*AppResult, error) {
-	return p.ProfileAppCtx(context.Background(), app)
-}
-
-// ProfileAppCtx is ProfileApp under a context: cancellation is checked
-// between kernel launches and between replay passes, so a profiled run stops
-// promptly (returning ctx.Err, wrapped) when ctx is cancelled.
-func (p *Profiler) ProfileAppCtx(ctx context.Context, app *workloads.App) (*AppResult, error) {
+// profiler and returns its Top-Down results. The context is first-class:
+// cancellation and deadlines are checked between kernel launches, between
+// replay passes, and inside the simulation loop itself (every few hundred
+// simulated-cycle steps, including fast-forward wakeup boundaries), so a
+// profiled run stops well within one replay pass of ctx being cancelled,
+// returning ctx.Err wrapped in a *KernelError. Pass context.Background()
+// when no cancellation is wanted.
+//
+// A kernel whose simulation panics is isolated rather than fatal: it is
+// recorded on AppResult.Failed as a *KernelError wrapping ErrKernelPanic,
+// the device is reset, and the application's remaining kernels profile
+// normally (graceful degradation). Only when every kernel fails — or the app
+// launches none — does ProfileApp return an error.
+func (p *Profiler) ProfileApp(ctx context.Context, app *workloads.App) (*AppResult, error) {
 	dev := sim.NewDeviceMem(p.spec, p.memBytes)
 	dev.SetFastForward(p.fastForward)
 	return p.profileOn(ctx, dev, app)
+}
+
+// ProfileAppCtx is the former name of the context-first ProfileApp.
+//
+// Deprecated: call ProfileApp, which now takes the context first.
+func (p *Profiler) ProfileAppCtx(ctx context.Context, app *workloads.App) (*AppResult, error) {
+	return p.ProfileApp(ctx, app)
 }
 
 func (p *Profiler) profileOn(ctx context.Context, dev *sim.Device, app *workloads.App) (*AppResult, error) {
@@ -493,6 +512,18 @@ func (p *Profiler) profileOn(ctx context.Context, dev *sim.Device, app *workload
 		}
 		rec, err := sess.ProfileCtx(ctx, l)
 		if err != nil {
+			// Per-kernel panic isolation: a crashed kernel degrades the
+			// profile instead of killing it. The device was already reset by
+			// the middleware; record the loss and keep going.
+			var ke *KernelError
+			if errors.As(err, &ke) && errors.Is(err, ErrKernelPanic) {
+				res.Failed = append(res.Failed, ke)
+				if p.logger.On(obs.LevelWarn) {
+					p.logger.Component("profiler").Warn("kernel isolated after panic",
+						"app", app.ID(), "kernel", ke.Kernel, "err", ke.Err)
+				}
+				return nil
+			}
 			return err
 		}
 		a := analyzer.Analyze(rec.Kernel, rec.Values)
@@ -509,6 +540,16 @@ func (p *Profiler) profileOn(ctx context.Context, dev *sim.Device, app *workload
 		return nil, err
 	}
 	if len(res.Kernels) == 0 {
+		if len(res.Failed) > 0 {
+			// Every kernel panicked: nothing to analyse, so degradation
+			// becomes failure — joined so errors.Is/As see each KernelError.
+			failed := make([]error, len(res.Failed))
+			for i, ke := range res.Failed {
+				failed[i] = ke
+			}
+			return nil, fmt.Errorf("gputopdown: %s: all %d kernels failed: %w",
+				app.ID(), len(res.Failed), errors.Join(failed...))
+		}
 		return nil, fmt.Errorf("gputopdown: %s: %w", app.ID(), ErrNoKernels)
 	}
 	analyses := make([]*core.Analysis, len(res.Kernels))
@@ -557,13 +598,9 @@ type TimelinePoint = core.TimelinePoint
 // kernelName selected by invocation (0-based) is analysed interval by
 // interval. This extends the paper's §V.D dynamic analysis below kernel
 // granularity (a simulator-side capability; see internal/core.AnalyzeTimeline).
-func (p *Profiler) Timeline(app *workloads.App, kernelName string, invocation int, interval uint64) ([]TimelinePoint, error) {
-	return p.TimelineCtx(context.Background(), app, kernelName, invocation, interval)
-}
-
-// TimelineCtx is Timeline under a context: cancellation is checked between
-// kernel launches of the native run.
-func (p *Profiler) TimelineCtx(ctx context.Context, app *workloads.App, kernelName string, invocation int, interval uint64) ([]TimelinePoint, error) {
+// Cancellation is checked between kernel launches and inside each launch's
+// simulation loop.
+func (p *Profiler) Timeline(ctx context.Context, app *workloads.App, kernelName string, invocation int, interval uint64) ([]TimelinePoint, error) {
 	if interval == 0 {
 		return nil, fmt.Errorf("gputopdown: zero timeline interval")
 	}
@@ -586,7 +623,7 @@ func (p *Profiler) TimelineCtx(ctx context.Context, app *workloads.App, kernelNa
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		res, err := dev.Launch(l)
+		res, err := dev.LaunchCtx(ctx, l)
 		if err != nil {
 			return err
 		}
@@ -608,6 +645,13 @@ func (p *Profiler) TimelineCtx(ctx context.Context, app *workloads.App, kernelNa
 		return nil, fmt.Errorf("gputopdown: kernel %q has only %d invocations", kernelName, seen)
 	}
 	return points, nil
+}
+
+// TimelineCtx is the former name of the context-first Timeline.
+//
+// Deprecated: call Timeline, which now takes the context first.
+func (p *Profiler) TimelineCtx(ctx context.Context, app *workloads.App, kernelName string, invocation int, interval uint64) ([]TimelinePoint, error) {
+	return p.Timeline(ctx, app, kernelName, invocation, interval)
 }
 
 // RunNative executes an application without profiling and returns its total
@@ -632,34 +676,30 @@ func (p *Profiler) RunNative(app *workloads.App) (uint64, error) {
 
 // ProfileSuite profiles every app of a suite, each on its own fresh device,
 // fanning the independent apps across CPU cores. Results keep suite order.
-// An unknown suite reports ErrUnknownSuite.
-func (p *Profiler) ProfileSuite(suite string) ([]*AppResult, error) {
-	return p.ProfileSuiteCtx(context.Background(), suite)
-}
-
-// ProfileSuiteCtx is ProfileSuite under a context (see ProfileAppsCtx).
-func (p *Profiler) ProfileSuiteCtx(ctx context.Context, suite string) ([]*AppResult, error) {
+// An unknown suite reports ErrUnknownSuite. Cancellation semantics are
+// ProfileApps'.
+func (p *Profiler) ProfileSuite(ctx context.Context, suite string) ([]*AppResult, error) {
 	apps := workloads.BySuite(suite)
 	if len(apps) == 0 {
 		return nil, fmt.Errorf("gputopdown: suite %q: %w", suite, ErrUnknownSuite)
 	}
-	return p.ProfileAppsCtx(ctx, apps)
+	return p.ProfileApps(ctx, apps)
 }
 
-// ProfileApps profiles a list of apps concurrently (one fresh device each).
-// It is ProfileAppsCtx with a background context.
-func (p *Profiler) ProfileApps(apps []*workloads.App) ([]*AppResult, error) {
-	return p.ProfileAppsCtx(context.Background(), apps)
+// ProfileSuiteCtx is the former name of the context-first ProfileSuite.
+//
+// Deprecated: call ProfileSuite, which now takes the context first.
+func (p *Profiler) ProfileSuiteCtx(ctx context.Context, suite string) ([]*AppResult, error) {
+	return p.ProfileSuite(ctx, suite)
 }
 
-// ProfileAppsCtx profiles a list of apps concurrently, one fresh device
-// each, under a context. Unlike the historical first-error-wins behavior,
-// every app is attempted and all failures are aggregated with errors.Join,
-// each wrapped with its app id; the returned slice keeps input order and
-// holds the results of the apps that succeeded (nil at failed indices), so
-// partial progress is not discarded. Cancellation stops the remaining apps
-// and surfaces ctx.Err among the joined errors.
-func (p *Profiler) ProfileAppsCtx(ctx context.Context, apps []*workloads.App) ([]*AppResult, error) {
+// ProfileApps profiles a list of apps concurrently, one fresh device each,
+// under a context. Every app is attempted and all failures are aggregated
+// with errors.Join, each wrapped with its app id; the returned slice keeps
+// input order and holds the results of the apps that succeeded (nil at
+// failed indices), so partial progress is not discarded. Cancellation stops
+// the remaining apps and surfaces ctx.Err among the joined errors.
+func (p *Profiler) ProfileApps(ctx context.Context, apps []*workloads.App) ([]*AppResult, error) {
 	p.progress.StartRun(len(apps))
 	stopProgressLog := p.startProgressLog()
 	defer stopProgressLog()
@@ -679,7 +719,7 @@ func (p *Profiler) ProfileAppsCtx(ctx context.Context, apps []*workloads.App) ([
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = p.ProfileAppCtx(ctx, apps[i])
+				results[i], errs[i] = p.ProfileApp(ctx, apps[i])
 			}
 		}()
 	}
@@ -711,6 +751,13 @@ feed:
 		return results, err
 	}
 	return results, nil
+}
+
+// ProfileAppsCtx is the former name of the context-first ProfileApps.
+//
+// Deprecated: call ProfileApps, which now takes the context first.
+func (p *Profiler) ProfileAppsCtx(ctx context.Context, apps []*workloads.App) ([]*AppResult, error) {
+	return p.ProfileApps(ctx, apps)
 }
 
 // startProgressLog starts the periodic structured progress line for a suite

@@ -1,6 +1,7 @@
 package gputopdown
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -33,7 +34,7 @@ func TestLookupHelpers(t *testing.T) {
 func TestProfileAppLevel1(t *testing.T) {
 	p := testProfiler(1)
 	app, _ := LookupApp("rodinia", "hotspot")
-	res, err := p.ProfileApp(app)
+	res, err := p.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestProfileAppLevel1(t *testing.T) {
 func TestProfileAppLevel3(t *testing.T) {
 	p := testProfiler(3)
 	app, _ := LookupApp("rodinia", "myocyte")
-	res, err := p.ProfileApp(app)
+	res, err := p.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestProfilePascalCapsLevel(t *testing.T) {
 	spec := GTX1070().WithSMs(4)
 	p := NewProfiler(spec, WithLevel(3))
 	app, _ := LookupApp("rodinia", "hotspot")
-	res, err := p.ProfileApp(app)
+	res, err := p.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestProfilePascalCapsLevel(t *testing.T) {
 
 func TestDynamicSeries(t *testing.T) {
 	p := testProfiler(1)
-	res, err := p.ProfileApp(SradDynamic())
+	res, err := p.ProfileApp(context.Background(), SradDynamic())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,11 +143,11 @@ func TestProfileAppsParallelDeterministic(t *testing.T) {
 		a, _ := LookupApp("rodinia", n)
 		apps = append(apps, a)
 	}
-	r1, err := p.ProfileApps(apps)
+	r1, err := p.ProfileApps(context.Background(), apps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := p.ProfileApps(apps)
+	r2, err := p.ProfileApps(context.Background(), apps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestProfileAppsParallelDeterministic(t *testing.T) {
 }
 
 func TestProfileSuiteUnknown(t *testing.T) {
-	if _, err := testProfiler(1).ProfileSuite("nope"); err == nil {
+	if _, err := testProfiler(1).ProfileSuite(context.Background(), "nope"); err == nil {
 		t.Error("unknown suite accepted")
 	}
 }
@@ -174,7 +175,7 @@ func TestRunNativeFasterThanProfiled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.ProfileApp(app)
+	res, err := p.ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestRunNativeFasterThanProfiled(t *testing.T) {
 
 func TestRawEquationsLeaveResidual(t *testing.T) {
 	app, _ := LookupApp("rodinia", "hotspot")
-	raw, err := testProfiler(2, WithRawEquations()).ProfileApp(app)
+	raw, err := testProfiler(2, WithRawEquations()).ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,11 +212,11 @@ func TestRawEquationsLeaveResidual(t *testing.T) {
 
 func TestHWPMMode(t *testing.T) {
 	app, _ := LookupApp("rodinia", "hotspot")
-	res, err := testProfiler(1, WithHWPM()).ProfileApp(app)
+	res, err := testProfiler(1, WithHWPM()).ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
-	smpc, err := testProfiler(1).ProfileApp(app)
+	smpc, err := testProfiler(1).ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestOverheadAboutThirteenX(t *testing.T) {
 	var ratios []float64
 	for _, n := range []string{"hotspot", "huffman", "nw", "streamcluster"} {
 		app, _ := LookupApp("rodinia", n)
-		res, err := p.ProfileApp(app)
+		res, err := p.ProfileApp(context.Background(), app)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,7 +251,7 @@ func TestOverheadAboutThirteenX(t *testing.T) {
 
 func TestWithRooflinePlacement(t *testing.T) {
 	app, _ := LookupApp("altis", "maxflops")
-	res, err := testProfiler(1, WithRoofline()).ProfileApp(app)
+	res, err := testProfiler(1, WithRoofline()).ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestWithRooflinePlacement(t *testing.T) {
 	}
 
 	mem, _ := LookupApp("altis", "gups")
-	res2, err := testProfiler(1, WithRoofline()).ProfileApp(mem)
+	res2, err := testProfiler(1, WithRoofline()).ProfileApp(context.Background(), mem)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestWithRooflinePlacement(t *testing.T) {
 		t.Errorf("gups roofline bound = %s, want memory", res2.Roofline.Bound)
 	}
 	// Without the option, no roofline.
-	res3, err := testProfiler(1).ProfileApp(app)
+	res3, err := testProfiler(1).ProfileApp(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,11 +282,11 @@ func TestWithRooflinePlacement(t *testing.T) {
 
 func TestWithSamplingFacade(t *testing.T) {
 	p := testProfiler(3, WithSampling(10))
-	res, err := p.ProfileApp(SradDynamic())
+	res, err := p.ProfileApp(context.Background(), SradDynamic())
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := testProfiler(3).ProfileApp(SradDynamic())
+	full, err := testProfiler(3).ProfileApp(context.Background(), SradDynamic())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestSHOCBottleneckAttribution(t *testing.T) {
 		if !ok {
 			t.Fatalf("shoc/%s missing", name)
 		}
-		res, err := p.ProfileApp(app)
+		res, err := p.ProfileApp(context.Background(), app)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -350,7 +351,7 @@ func TestTimelineIntraKernelPhases(t *testing.T) {
 	// launch, and carry well-formed analyses.
 	p := testProfiler(2)
 	app, _ := LookupApp("rodinia", "hotspot")
-	points, err := p.Timeline(app, "calculate_temp", 0, 200)
+	points, err := p.Timeline(context.Background(), app, "calculate_temp", 0, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,13 +371,13 @@ func TestTimelineIntraKernelPhases(t *testing.T) {
 		}
 	}
 	// Errors surface for unknown kernels and out-of-range invocations.
-	if _, err := p.Timeline(app, "nope", 0, 200); err == nil {
+	if _, err := p.Timeline(context.Background(), app, "nope", 0, 200); err == nil {
 		t.Error("unknown kernel accepted")
 	}
-	if _, err := p.Timeline(app, "calculate_temp", 99, 200); err == nil {
+	if _, err := p.Timeline(context.Background(), app, "calculate_temp", 99, 200); err == nil {
 		t.Error("out-of-range invocation accepted")
 	}
-	if _, err := p.Timeline(app, "calculate_temp", 0, 0); err == nil {
+	if _, err := p.Timeline(context.Background(), app, "calculate_temp", 0, 0); err == nil {
 		t.Error("zero interval accepted")
 	}
 }
