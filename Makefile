@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench-sim
+.PHONY: all build test bench-sim bench-compare
 
 all: build
 
@@ -11,13 +11,30 @@ test:
 	$(GO) test ./...
 
 # bench-sim measures the fast-forward launch engine against the naive
-# cycle loop: the Go micro-benchmarks on the synthetic memory-bound kernel,
-# then benchsim on real suite applications (writing BENCH_sim.json and
-# failing if the memory-bound reference app regresses below the gate).
-BENCH_REF ?= altis/gups
-BENCH_REF_MIN ?= 1.0
+# cycle loop: the Go micro-benchmarks on the synthetic memory-bound kernel
+# and the SM hot path, then benchsim on real suite applications (appending
+# an entry to the BENCH_sim.json trajectory and failing if any gated
+# reference app falls below its required speedup).
+BENCH_REFS ?= altis/gups:3.0,altis/maxflops:1.0
 BENCH_REPS ?= 3
+BENCH_ENGINE ?= hotpath-adaptive
+BENCH_PROFILE ?=
 
 bench-sim:
 	$(GO) test -run xxx -bench 'BenchmarkLaunch(Naive|FastForward)' -benchmem ./internal/sim/
-	$(GO) run ./cmd/benchsim -reps $(BENCH_REPS) -ref $(BENCH_REF) -ref-min $(BENCH_REF_MIN) -out BENCH_sim.json
+	$(GO) test -run xxx -bench 'BenchmarkIssue(ALU|Memory)' -benchmem ./internal/sm/
+	$(GO) run ./cmd/benchsim -reps $(BENCH_REPS) -refs '$(BENCH_REFS)' -engine $(BENCH_ENGINE) \
+		$(if $(BENCH_PROFILE),-cpuprofile $(BENCH_PROFILE)) -out BENCH_sim.json
+
+# bench-compare benchmarks HEAD against a baseline checkout's report:
+# point BASELINE at a directory containing a BENCH_sim.json (for example a
+# git worktree of the commit to compare against) and the target prints
+# per-app fast-forward deltas. The HEAD run is written to a scratch file so
+# the tracked trajectory is not modified by comparisons.
+BASELINE ?=
+
+bench-compare:
+	@test -n "$(BASELINE)" || { echo "usage: make bench-compare BASELINE=<dir with BENCH_sim.json>"; exit 1; }
+	@test -f "$(BASELINE)/BENCH_sim.json" || { echo "bench-compare: $(BASELINE)/BENCH_sim.json not found"; exit 1; }
+	$(GO) run ./cmd/benchsim -reps $(BENCH_REPS) -refs '$(BENCH_REFS)' -engine head \
+		-compare $(BASELINE)/BENCH_sim.json -out /tmp/BENCH_sim_head.json

@@ -504,17 +504,19 @@ func (in Instr) String() string {
 }
 
 // SourceRegs returns the GPR sources actually read by the instruction,
-// excluding RZ. The result aliases a freshly allocated slice.
-func (in Instr) SourceRegs() []Reg {
+// excluding RZ, compacted into a fixed-size array together with the count of
+// valid entries. The fixed-size return keeps the call allocation-free, which
+// matters because the SM's decoded-instruction cache and scoreboard consult
+// it on the issue hot path.
+func (in Instr) SourceRegs() (regs [3]Reg, n int) {
 	info := in.Op.Info()
-	n := info.NumSrcs
-	regs := make([]Reg, 0, n)
-	for i := 0; i < n; i++ {
+	for i := 0; i < info.NumSrcs; i++ {
 		if in.Srcs[i] != RZ {
-			regs = append(regs, in.Srcs[i])
+			regs[n] = in.Srcs[i]
+			n++
 		}
 	}
-	return regs
+	return regs, n
 }
 
 // Validate checks structural invariants of the instruction and returns a

@@ -108,9 +108,23 @@ func TestRegStrings(t *testing.T) {
 
 func TestSourceRegsSkipsRZ(t *testing.T) {
 	in := Instr{Op: OpIMAD, Dst: R(4), Srcs: [3]Reg{R(1), RZ, R(2)}}
-	got := in.SourceRegs()
-	if len(got) != 2 || got[0] != R(1) || got[1] != R(2) {
-		t.Errorf("SourceRegs = %v, want [R1 R2]", got)
+	got, n := in.SourceRegs()
+	if n != 2 || got[0] != R(1) || got[1] != R(2) {
+		t.Errorf("SourceRegs = %v (n=%d), want [R1 R2]", got, n)
+	}
+}
+
+func TestSourceRegsAllocFree(t *testing.T) {
+	in := Instr{Op: OpIMAD, Dst: R(4), Srcs: [3]Reg{R(1), R(2), R(3)}}
+	var n int
+	allocs := testing.AllocsPerRun(100, func() {
+		_, n = in.SourceRegs()
+	})
+	if n != 3 {
+		t.Fatalf("SourceRegs count = %d, want 3", n)
+	}
+	if allocs != 0 {
+		t.Errorf("SourceRegs allocates %v per call, want 0", allocs)
 	}
 }
 
@@ -195,11 +209,11 @@ func TestSourceRegsProperty(t *testing.T) {
 	f := func(opRaw uint8, s0, s1, s2 uint16) bool {
 		op := Op(int(opRaw) % NumOps)
 		in := Instr{Op: op, Srcs: [3]Reg{Reg(s0 % 256), Reg(s1 % 256), Reg(s2 % 256)}}
-		regs := in.SourceRegs()
-		if len(regs) > op.Info().NumSrcs {
+		regs, n := in.SourceRegs()
+		if n > op.Info().NumSrcs {
 			return false
 		}
-		for _, r := range regs {
+		for _, r := range regs[:n] {
 			if r == RZ {
 				return false
 			}

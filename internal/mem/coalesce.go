@@ -8,7 +8,19 @@ package mem
 // 4-byte accesses from 32 lanes touch 4 sectors of 32 bytes, a strided or
 // random pattern up to 32 (or 64 for 8-byte accesses spanning sectors).
 func CoalesceSectors(addrs *[32]uint64, mask uint32, size int, sectorSize uint64) []uint64 {
-	sectors := make([]uint64, 0, 8)
+	return CoalesceSectorsInto(make([]uint64, 0, 8), addrs, mask, size, sectorSize)
+}
+
+// CoalesceSectorsInto is CoalesceSectors with a caller-provided backing
+// slice: the result is appended to dst[:0] and shares its array, so a caller
+// that owns a reusable scratch buffer pays no allocation once the buffer has
+// grown to the warp's sector footprint (at most 64 entries: 32 lanes of
+// 8-byte accesses each straddling a sector boundary). The SM issue path
+// passes a per-SM scratch buffer here; the returned slice must therefore be
+// fully consumed before the next memory instruction issues on that SM, which
+// the memory data path guarantees (it only iterates, never retains).
+func CoalesceSectorsInto(dst []uint64, addrs *[32]uint64, mask uint32, size int, sectorSize uint64) []uint64 {
+	sectors := dst[:0]
 	for lane := 0; lane < 32; lane++ {
 		if mask&(1<<lane) == 0 {
 			continue

@@ -52,6 +52,11 @@ type Device struct {
 	// cycles (see sm.SM.NextWakeup/AdvanceTo). Results are bit-identical
 	// either way; only host wall-clock changes. On by default.
 	fastForward bool
+	// adaptiveFF enables per-SM adaptive fast-forward hysteresis: SMs stop
+	// maintaining wakeup bookkeeping while they issue every cycle and re-arm
+	// on the first idle subpartition (see sm.SM.SetAdaptiveFF). On by
+	// default; host-side only.
+	adaptiveFF bool
 	// lastTicks counts the simulation-loop iterations of the most recent
 	// launch; with fast-forward on, Cycles - lastTicks cycles were skipped.
 	lastTicks uint64
@@ -95,6 +100,7 @@ func assemble(spec *gpu.Spec, storage *mem.Storage, constBank *mem.ConstantBank)
 		L2:          mem.NewCache("L2", spec.L2Size, spec.L2Ways, spec.LineSize, spec.SectorSize),
 		DRAM:        mem.NewDRAM(spec.DRAMLatency, spec.DRAMBytesPerCycle, spec.DRAMQueueDepth),
 		fastForward: true,
+		adaptiveFF:  true,
 	}
 	for i := 0; i < spec.SMs; i++ {
 		d.SMs = append(d.SMs, sm.New(spec, i, d.L2, d.DRAM, d.Storage, d.Const))
@@ -119,6 +125,7 @@ func (d *Device) Clone() *Device {
 	c := assemble(d.Spec, d.Storage.Clone(), d.Const.Clone())
 	c.traceInterval = d.traceInterval
 	c.fastForward = d.fastForward
+	c.SetAdaptiveFastForward(d.adaptiveFF)
 	return c
 }
 
@@ -129,6 +136,19 @@ func (d *Device) SetFastForward(on bool) { d.fastForward = on }
 
 // FastForwardEnabled reports whether the fast-forward engine is active.
 func (d *Device) FastForwardEnabled() bool { return d.fastForward }
+
+// SetAdaptiveFastForward toggles the per-SM adaptive fast-forward
+// hysteresis on every SM. Results are bit-identical either way; the knob
+// exists for benchmarking the always-tracking (PR3) engine.
+func (d *Device) SetAdaptiveFastForward(on bool) {
+	d.adaptiveFF = on
+	for _, s := range d.SMs {
+		s.SetAdaptiveFF(on)
+	}
+}
+
+// AdaptiveFastForwardEnabled reports whether adaptive hysteresis is active.
+func (d *Device) AdaptiveFastForwardEnabled() bool { return d.adaptiveFF }
 
 // LastLaunchTicks returns how many per-cycle loop iterations the most
 // recent launch actually executed. The difference to the launch's Cycles is
@@ -545,6 +565,7 @@ func (d *Device) LaunchCtx(ctx context.Context, l *kernel.Launch) (*RunResult, e
 func (d *Device) ResetSMs() {
 	for i := range d.SMs {
 		d.SMs[i] = sm.New(d.Spec, i, d.L2, d.DRAM, d.Storage, d.Const)
+		d.SMs[i].SetAdaptiveFF(d.adaptiveFF)
 	}
 	d.L2.Flush()
 	d.DRAM.Reset()

@@ -1,0 +1,202 @@
+package sm
+
+import (
+	"gputopdown/internal/isa"
+	"gputopdown/internal/kernel"
+)
+
+// The decoded-instruction cache precomputes, once per (program, SM), every
+// piece of issue metadata that classify and issue would otherwise rederive
+// from isa.OpInfo on every cycle: the execution pipe and its throttle
+// classification, the front-end queue that gates issue, the compacted
+// non-RZ source-register list for the scoreboard, the guard and read
+// predicates, the initiation interval and dispatch occupancy, the
+// fixed-latency completion time, and whether the static register operands
+// collide in a register-file bank. All of these are pure functions of the
+// instruction and the GPU spec, so hoisting them out of the per-cycle path
+// cannot change any simulation result — only host time.
+
+// queue class an instruction must find non-full before issuing.
+const (
+	queueNone uint8 = iota
+	queueLG
+	queueMIO
+	queueTEX
+)
+
+// decodedInstr is the per-program issue metadata for one isa.Instr. It is
+// read on every classify and every issue of that instruction; the original
+// Instr is still consulted for functional semantics (immediates, lane
+// operands, branch targets).
+type decodedInstr struct {
+	srcs  [3]isa.Reg // non-RZ GPR sources, compacted
+	nsrcs uint8
+	dst   isa.Reg
+	// checkDst enables the WAW hazard check on dst.
+	checkDst bool
+	// pred is the guard predicate (PT = unpredicated); pdstRead is the
+	// predicate read through PDst by SEL/VOTE (PT = none).
+	pred     isa.PredReg
+	pdstRead isa.PredReg
+
+	pipe isa.Pipe
+	// throttle is the warp state reported while pipe is busy.
+	throttle WarpState
+	// queue selects the front-end queue whose fullness blocks issue.
+	queue uint8
+	isMem bool // load or store: issue charges replay dispatch cycles
+
+	// bankConflict marks statically colliding source registers (the operand
+	// collector needs an extra cycle; see issue).
+	bankConflict bool
+
+	// ii is the pipe initiation interval; dispatch the base dispatch-unit
+	// occupancy in cycles; lat the fixed-latency result completion delay for
+	// the instruction's pipe (ALU/FMA/FP64/SFU — unused by memory ops).
+	ii       uint64
+	dispatch uint64
+	lat      uint64
+}
+
+// decodedProgram is the flat decoded table for one kernel program.
+type decodedProgram struct {
+	instrs []decodedInstr
+}
+
+// throttleState maps a busy pipe to the stall classification the warp
+// reports while waiting for it.
+func throttleState(p isa.Pipe) WarpState {
+	switch p {
+	case isa.PipeLSU:
+		return StateLGThrottle
+	case isa.PipeMIO:
+		return StateMIOThrottle
+	case isa.PipeTEX:
+		return StateTEXThrottle
+	default:
+		return StateMathPipeThrottle
+	}
+}
+
+// decodeInstr computes the issue metadata of one instruction under the SM's
+// spec. Every field mirrors a computation previously performed inline in
+// classify/issue; the equivalence is pinned by TestDecodeMatchesOpInfo.
+func (s *SM) decodeInstr(in *isa.Instr) decodedInstr {
+	spec := s.spec
+	info := in.Op.Info()
+	d := decodedInstr{
+		dst:      in.Dst,
+		checkDst: info.WritesDst,
+		pred:     in.Pred,
+		pdstRead: isa.PT,
+		pipe:     info.Pipe,
+		throttle: throttleState(info.Pipe),
+		isMem:    info.IsLoad || info.IsStore,
+		ii:       uint64(ceilDiv(kernel.WarpSize, spec.PipeLanes[info.Pipe])),
+		dispatch: 1,
+	}
+	d.srcs, d.nsrcs = func() ([3]isa.Reg, uint8) {
+		regs, n := in.SourceRegs()
+		return regs, uint8(n)
+	}()
+	if in.Op == isa.OpSEL || in.Op == isa.OpVOTE {
+		d.pdstRead = in.PDst
+	}
+	switch info.Pipe {
+	case isa.PipeLSU:
+		if in.Op != isa.OpLDC {
+			d.queue = queueLG
+		}
+	case isa.PipeMIO:
+		d.queue = queueMIO
+	case isa.PipeTEX:
+		d.queue = queueTEX
+	}
+	if d.isMem && in.Size == 8 || info.Pipe == isa.PipeFP64 {
+		d.dispatch = 2
+	}
+	switch info.Pipe {
+	case isa.PipeFMA:
+		d.lat = uint64(spec.FMALatency)
+	case isa.PipeFP64:
+		d.lat = uint64(spec.FP64Latency)
+	case isa.PipeSFU:
+		d.lat = uint64(spec.SFULatency)
+	default:
+		d.lat = uint64(spec.ALULatency)
+	}
+	// Register-file bank collision between distinct source registers is a
+	// property of the static operands alone. Identical registers in the
+	// 2-source case broadcast and never conflict.
+	if banks := spec.RegFileBanks; banks > 1 && info.NumSrcs >= 2 {
+		seen := 0
+		conflict := false
+		for i := 0; i < info.NumSrcs; i++ {
+			r := in.Srcs[i]
+			if r == isa.RZ {
+				continue
+			}
+			bit := 1 << (int(r) % banks)
+			if seen&bit != 0 {
+				conflict = true
+				break
+			}
+			seen |= bit
+		}
+		if conflict && !(info.NumSrcs == 2 && in.Srcs[0] == in.Srcs[1]) {
+			d.bankConflict = true
+		}
+	}
+	return d
+}
+
+// decodeProgram returns the SM's decoded table for p, building and caching
+// it on first use. The cache is keyed by program identity: workloads reuse
+// one Program value across launches (and replay passes re-launch the same
+// programs), so in steady state LaunchBlock performs one map lookup and no
+// decoding. The table depends on the SM's spec, which is immutable after
+// construction, so a cached entry never goes stale.
+func (s *SM) decodeProgram(p *kernel.Program) *decodedProgram {
+	if d, ok := s.progCache[p]; ok {
+		return d
+	}
+	d := &decodedProgram{instrs: make([]decodedInstr, len(p.Instrs))}
+	for i := range p.Instrs {
+		d.instrs[i] = s.decodeInstr(&p.Instrs[i])
+	}
+	if s.progCache == nil {
+		s.progCache = make(map[*kernel.Program]*decodedProgram)
+	}
+	s.progCache[p] = d
+	return d
+}
+
+// scoreboardDec is scoreboardBlock over the decoded metadata: the
+// latest-ready operand among compacted sources, the WAW destination and the
+// read predicates, with its dependency class.
+func (w *warp) scoreboardDec(d *decodedInstr) (uint64, depKind) {
+	var ready uint64
+	kind := depNone
+	for i := 0; i < int(d.nsrcs); i++ {
+		r := d.srcs[i]
+		if int(r) < len(w.regReady) && w.regReady[r] > ready {
+			ready = w.regReady[r]
+			kind = w.regDep[r]
+		}
+	}
+	if d.checkDst {
+		if r := d.dst; r != isa.RZ && int(r) < len(w.regReady) && w.regReady[r] > ready {
+			ready = w.regReady[r]
+			kind = w.regDep[r]
+		}
+	}
+	if d.pred != isa.PT && w.predReady[d.pred] > ready {
+		ready = w.predReady[d.pred]
+		kind = depFixed
+	}
+	if d.pdstRead != isa.PT && w.predReady[d.pdstRead] > ready {
+		ready = w.predReady[d.pdstRead]
+		kind = depFixed
+	}
+	return ready, kind
+}

@@ -30,7 +30,7 @@ func (s *SM) issue(sp *subpart, w *warp, now uint64) {
 	topIdx := len(w.stack) - 1
 	pc := w.stack[topIdx].pc
 	in := &w.block.launch.Program.Instrs[pc]
-	info := in.Op.Info()
+	d := &w.block.dec.instrs[pc]
 	active := w.activeMask()
 	pmask := w.predMask(in.Pred, in.PredNeg) & active
 	spec := s.spec
@@ -49,39 +49,18 @@ func (s *SM) issue(sp *subpart, w *warp, now uint64) {
 
 	// Register-file bank conflict between distinct source registers: the
 	// operand collector needs an extra cycle, surfacing as a "misc" stall on
-	// the warp's next instruction.
-	if banks := spec.RegFileBanks; banks > 1 && info.NumSrcs >= 2 {
-		seen := 0
-		conflict := false
-		for i := 0; i < info.NumSrcs; i++ {
-			r := in.Srcs[i]
-			if r == isa.RZ {
-				continue
-			}
-			bit := 1 << (int(r) % banks)
-			if seen&bit != 0 {
-				conflict = true
-				break
-			}
-			seen |= bit
-		}
-		// Distinct registers in the same bank conflict; identical registers
-		// broadcast. Check distinctness cheaply for the common 2-src case.
-		if conflict && !(info.NumSrcs == 2 && in.Srcs[0] == in.Srcs[1]) {
-			s.ctr.RegBankConflicts++
-			if w.nextEligible < now+2 {
-				w.nextEligible = now + 2
-				w.eligibleReason = StateMisc
-			}
+	// the warp's next instruction. A static property, precomputed at decode.
+	if d.bankConflict {
+		s.ctr.RegBankConflicts++
+		if w.nextEligible < now+2 {
+			w.nextEligible = now + 2
+			w.eligibleReason = StateMisc
 		}
 	}
 
 	// Initiation interval: the pipe is occupied for warpSize/lanes cycles.
-	ii := uint64(ceilDiv(kernel.WarpSize, spec.PipeLanes[info.Pipe]))
-	dispatchCycles := uint64(1)
-	if (info.IsLoad || info.IsStore) && in.Size == 8 || info.Pipe == isa.PipeFP64 {
-		dispatchCycles = 2
-	}
+	ii := d.ii
+	dispatchCycles := d.dispatch
 	advancePC := true
 
 	switch {
@@ -178,10 +157,10 @@ func (s *SM) issue(sp *subpart, w *warp, now uint64) {
 	case in.Op == isa.OpISETP || in.Op == isa.OpFSETP || in.Op == isa.OpDSETP:
 		s.execSetp(w, in, pmask, now)
 
-	case info.Pipe == isa.PipeALU || info.Pipe == isa.PipeFMA || info.Pipe == isa.PipeFP64:
-		s.execALU(w, in, pmask, now)
+	case d.pipe == isa.PipeALU || d.pipe == isa.PipeFMA || d.pipe == isa.PipeFP64:
+		s.execALU(w, in, pmask, now, d.lat)
 
-	case info.IsLoad || info.IsStore:
+	case d.isMem:
 		extraIssues, pipeBusy := s.execMemory(sp, w, in, pmask, now)
 		s.ctr.InstIssued += uint64(extraIssues)
 		if pipeBusy > ii {
@@ -245,7 +224,7 @@ func (s *SM) issue(sp *subpart, w *warp, now uint64) {
 		s.checkBarrier(w.block)
 	}
 
-	sp.pipeFree[info.Pipe] = now + ii
+	sp.pipeFree[d.pipe] = now + ii
 	sp.dispatchFree = now + dispatchCycles
 }
 
@@ -384,7 +363,7 @@ func (s *SM) execSetp(w *warp, in *isa.Instr, pmask uint32, now uint64) {
 	}
 }
 
-func (s *SM) execALU(w *warp, in *isa.Instr, pmask uint32, now uint64) {
+func (s *SM) execALU(w *warp, in *isa.Instr, pmask uint32, now uint64, lat uint64) {
 	for lane := 0; lane < 32; lane++ {
 		if pmask&(1<<lane) == 0 {
 			continue
@@ -451,16 +430,8 @@ func (s *SM) execALU(w *warp, in *isa.Instr, pmask uint32, now uint64) {
 		}
 		w.regs[in.Dst][lane] = res
 	}
-	var lat int
-	switch in.Op.Info().Pipe {
-	case isa.PipeFMA:
-		lat = s.spec.FMALatency
-	case isa.PipeFP64:
-		lat = s.spec.FP64Latency
-	default:
-		lat = s.spec.ALULatency
-	}
-	w.setRegReady(in.Dst, now+uint64(lat), depFixed)
+	// lat is the decoded pipe latency (FMA/FP64/ALU per the spec).
+	w.setRegReady(in.Dst, now+lat, depFixed)
 }
 
 func (w *warp) f32OperandB(in *isa.Instr, lane int) float32 {
@@ -491,7 +462,8 @@ func (s *SM) execMemory(sp *subpart, w *warp, in *isa.Instr, pmask uint32, now u
 				addrs[lane] = uint64(int64(w.readReg(in.Srcs[0], lane)) + in.Imm)
 			}
 		}
-		sectors := mem.CoalesceSectors(&addrs, pmask, size, uint64(spec.SectorSize))
+		sectors := mem.CoalesceSectorsInto(s.sectorScratch[:0], &addrs, pmask, size, uint64(spec.SectorSize))
+		s.sectorScratch = sectors // keep the (possibly re-grown) backing
 		switch in.Op {
 		case isa.OpLDG:
 			for lane := 0; lane < 32; lane++ {
@@ -608,7 +580,8 @@ func (s *SM) execMemory(sp *subpart, w *warp, in *isa.Instr, pmask uint32, now u
 			// accesses across a warp coalesce, as the hardware arranges.
 			addrs[lane] = s.localBase + (off/uint64(size))*uint64(size)*uint64(s.totalThreads) + gtid*uint64(size)
 		}
-		sectors := mem.CoalesceSectors(&addrs, pmask, size, uint64(spec.SectorSize))
+		sectors := mem.CoalesceSectorsInto(s.sectorScratch[:0], &addrs, pmask, size, uint64(spec.SectorSize))
+		s.sectorScratch = sectors
 		if in.Op == isa.OpLDL {
 			for lane := 0; lane < 32; lane++ {
 				if pmask&(1<<lane) != 0 {
@@ -633,8 +606,10 @@ func (s *SM) execMemory(sp *subpart, w *warp, in *isa.Instr, pmask uint32, now u
 
 	case isa.OpLDC:
 		// Per-lane offsets support indexed constant reads; the IMC works in
-		// 64-byte lines.
-		var lines []uint64
+		// 64-byte lines. At most 32 active lanes means at most 32 unique
+		// lines, so a fixed array avoids the per-issue allocation.
+		var lines [32]uint64
+		nlines := 0
 		done := now
 		anyMiss := false
 		for lane := 0; lane < 32; lane++ {
@@ -645,19 +620,20 @@ func (s *SM) execMemory(sp *subpart, w *warp, in *isa.Instr, pmask uint32, now u
 			w.regs[in.Dst][lane] = s.constBank.Read(off, size)
 			line := uint64(off) / 64
 			dup := false
-			for _, l := range lines {
+			for _, l := range lines[:nlines] {
 				if l == line {
 					dup = true
 					break
 				}
 			}
 			if !dup {
-				lines = append(lines, line)
-				d, hit := s.dp.ConstLoad(now, int64(line*64))
+				lines[nlines] = line
+				nlines++
+				dn, hit := s.dp.ConstLoad(now, int64(line*64))
 				if !hit {
 					anyMiss = true
 				}
-				done = maxU64(done, d)
+				done = maxU64(done, dn)
 			}
 		}
 		kind := depFixed
@@ -665,7 +641,7 @@ func (s *SM) execMemory(sp *subpart, w *warp, in *isa.Instr, pmask uint32, now u
 			kind = depIMC
 		}
 		w.setRegReady(in.Dst, done, kind)
-		return max0(len(lines) - 1), uint64(max1(len(lines)))
+		return max0(nlines - 1), uint64(max1(nlines))
 
 	case isa.OpTEX:
 		var addrs [32]uint64
@@ -679,7 +655,8 @@ func (s *SM) execMemory(sp *subpart, w *warp, in *isa.Instr, pmask uint32, now u
 				w.regs[in.Dst][lane] = s.storage.Read(addrs[lane], size)
 			}
 		}
-		sectors := mem.CoalesceSectors(&addrs, pmask, size, uint64(spec.SectorSize))
+		sectors := mem.CoalesceSectorsInto(s.sectorScratch[:0], &addrs, pmask, size, uint64(spec.SectorSize))
+		s.sectorScratch = sectors
 		done, n := s.dp.TexFetch(now, sectors)
 		w.setRegReady(in.Dst, done, depLong)
 		sp.texQueue.Push(done)

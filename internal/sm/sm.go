@@ -13,6 +13,7 @@ import (
 // instance of each execution pipe and the memory instruction queues.
 type subpart struct {
 	warps        []*warp // fixed slots, nil = free
+	nres         int     // occupied slots, maintained by LaunchBlock/reapFinished
 	pipeFree     [isa.NumPipes]uint64
 	dispatchFree uint64
 	lgQueue      *mem.TimedQueue
@@ -21,17 +22,9 @@ type subpart struct {
 	lastIssued   int // slot of the most recently issued warp (GTO/LRR)
 }
 
-func (sp *subpart) resident() int {
-	n := 0
-	for _, w := range sp.warps {
-		if w != nil {
-			n++
-		}
-	}
-	return n
-}
+func (sp *subpart) resident() int { return sp.nres }
 
-func (sp *subpart) freeSlots() int { return len(sp.warps) - sp.resident() }
+func (sp *subpart) freeSlots() int { return len(sp.warps) - sp.nres }
 
 // SM is one Streaming Multiprocessor.
 type SM struct {
@@ -60,13 +53,43 @@ type SM struct {
 	tickEvent    bool
 	residencyVer uint64
 
+	// Adaptive fast-forward hysteresis. Wakeup bookkeeping (per-warp bound
+	// minimisation, the state histogram AdvanceTo replays) is pure overhead
+	// while the SM issues every cycle, so after adaptiveHotTicks consecutive
+	// non-quiescent ticks wakeTrack turns the bookkeeping off; the first
+	// quiescent tick (every subpartition idle) re-arms it. Purely host-side:
+	// simulation results are bit-identical either way.
+	adaptiveFF bool
+	wakeTrack  bool
+	hotStreak  uint32
+
+	// drainCount tracks warps that have finished but still hold outstanding
+	// stores, so the per-tick reap scan runs only when it can reap.
+	drainCount int
+
+	// noWakeList disables the per-warp wake-list skip in Tick (test hook:
+	// the exactness test runs both ways and demands identical counters).
+	noWakeList bool
+
+	// progCache holds the per-program decoded-instruction tables (see
+	// decode.go), keyed by program identity and retained for the SM's
+	// lifetime — replay passes re-launch the same programs.
+	progCache map[*kernel.Program]*decodedProgram
+
 	// Launch-wide context for local-memory addressing, set by the device.
 	localBase    uint64
 	totalThreads int
 
 	// Per-tick scratch buffers (no allocation in the cycle loop).
-	stateScratch [64]WarpState
-	candScratch  []int
+	// candScratch is a single backing array shared by every subpartition of
+	// a tick in turn: Tick truncates it per subpartition and stores the
+	// (possibly re-grown) backing once per tick. sectorScratch backs
+	// CoalesceSectorsInto in the issue path; storePool recycles reaped
+	// warps' storesPending backings into newly launched warps.
+	stateScratch  [64]WarpState
+	candScratch   []int
+	sectorScratch []uint64
+	storePool     [][]uint64
 
 	// Quiet-span accounting snapshot, rebuilt by every Tick: how many
 	// resident warps sit in each state (by lastState), how many
@@ -96,12 +119,16 @@ type SM struct {
 // constant bank.
 func New(spec *gpu.Spec, id int, l2 *mem.Cache, dram *mem.DRAM, storage *mem.Storage, constBank *mem.ConstantBank) *SM {
 	s := &SM{
-		spec:      spec,
-		id:        id,
-		dp:        mem.NewDataPath(spec, id, l2, dram),
-		icache:    mem.NewCache("L1I", spec.ICacheSize, spec.ICacheWays, spec.LineSize, spec.LineSize),
-		storage:   storage,
-		constBank: constBank,
+		spec:          spec,
+		id:            id,
+		dp:            mem.NewDataPath(spec, id, l2, dram),
+		icache:        mem.NewCache("L1I", spec.ICacheSize, spec.ICacheWays, spec.LineSize, spec.LineSize),
+		storage:       storage,
+		constBank:     constBank,
+		adaptiveFF:    true,
+		wakeTrack:     true,
+		candScratch:   make([]int, 0, spec.WarpSlotsPerSubpartition),
+		sectorScratch: make([]uint64, 0, 64),
 	}
 	for i := 0; i < spec.SubpartitionsPerSM; i++ {
 		s.subparts = append(s.subparts, &subpart{
@@ -169,6 +196,7 @@ func (s *SM) LaunchBlock(l *kernel.Launch, ctaid [3]int64, blockLinear int) {
 		ctaid:       ctaid,
 		blockLinear: blockLinear,
 		launch:      l,
+		dec:         s.decodeProgram(l.Program),
 		shared:      make([]byte, l.SharedBytes()),
 		liveWarps:   wpb,
 		remaining:   wpb,
@@ -192,7 +220,14 @@ func (s *SM) LaunchBlock(l *kernel.Launch, ctaid [3]int64, blockLinear int) {
 		}
 		s.launchSeq++
 		w := newWarp(spIdx*len(sp.warps)+slot, spIdx, wi, blk, members, l.Program.NumRegs, s.launchSeq)
+		if n := len(s.storePool); n > 0 {
+			// Recycle a reaped warp's storesPending backing.
+			w.storesPending = s.storePool[n-1][:0]
+			s.storePool[n-1] = nil
+			s.storePool = s.storePool[:n-1]
+		}
 		sp.warps[slot] = w
+		sp.nres++
 		blk.warps = append(blk.warps, w)
 	}
 	s.blocks = append(s.blocks, blk)
@@ -216,6 +251,9 @@ func (s *SM) checkBarrier(b *blockCtx) {
 	}
 	for _, w := range b.warps {
 		w.atBarrier = false
+		// The release is a cross-warp event: drop the released warps'
+		// wake-list bounds so the next Tick reclassifies them immediately.
+		w.wakeAt = 0
 	}
 	b.arrived = 0
 }
@@ -267,6 +305,7 @@ func (s *SM) classify(sp *subpart, w *warp, now uint64) (state WarpState, eligib
 		if w.block.liveWarps > 0 && !w.deadCounted() {
 			w.markDead()
 			w.block.liveWarps--
+			s.drainCount++
 			s.checkBarrier(w.block)
 			// The death may have released the block barrier, changing
 			// peers classified earlier this tick: force a normal tick.
@@ -294,8 +333,8 @@ func (s *SM) classify(sp *subpart, w *warp, now uint64) (state WarpState, eligib
 	if ok, fwake := s.ensureFetched(w, pc, now); !ok {
 		return StateNoInstruction, false, fwake
 	}
-	in := &w.block.launch.Program.Instrs[pc]
-	if ready, kind := w.scoreboardBlock(in); ready > now {
+	d := &w.block.dec.instrs[pc]
+	if ready, kind := w.scoreboardDec(d); ready > now {
 		st := kind.stallState()
 		w.stallUntil = ready
 		w.stallState = st
@@ -304,29 +343,19 @@ func (s *SM) classify(sp *subpart, w *warp, now uint64) (state WarpState, eligib
 	if now < sp.dispatchFree {
 		return StateDispatchStall, false, sp.dispatchFree
 	}
-	info := in.Op.Info()
-	if sp.pipeFree[info.Pipe] > now {
-		switch info.Pipe {
-		case isa.PipeLSU:
-			return StateLGThrottle, false, sp.pipeFree[info.Pipe]
-		case isa.PipeMIO:
-			return StateMIOThrottle, false, sp.pipeFree[info.Pipe]
-		case isa.PipeTEX:
-			return StateTEXThrottle, false, sp.pipeFree[info.Pipe]
-		default:
-			return StateMathPipeThrottle, false, sp.pipeFree[info.Pipe]
-		}
+	if sp.pipeFree[d.pipe] > now {
+		return d.throttle, false, sp.pipeFree[d.pipe]
 	}
-	switch info.Pipe {
-	case isa.PipeLSU:
-		if in.Op != isa.OpLDC && sp.lgQueue.Full(now) {
+	switch d.queue {
+	case queueLG:
+		if sp.lgQueue.Full(now) {
 			return StateLGThrottle, false, sp.lgQueue.NextCompletion()
 		}
-	case isa.PipeMIO:
+	case queueMIO:
 		if sp.mioQueue.Full(now) {
 			return StateMIOThrottle, false, sp.mioQueue.NextCompletion()
 		}
-	case isa.PipeTEX:
+	case queueTEX:
 		if sp.texQueue.Full(now) {
 			return StateTEXThrottle, false, sp.texQueue.NextCompletion()
 		}
@@ -369,6 +398,12 @@ func (s *SM) pick(sp *subpart, candidates []int) int {
 	return best
 }
 
+// adaptiveHotTicks is the hysteresis threshold for adaptive fast-forward:
+// after this many consecutive non-quiescent ticks, wakeup bookkeeping is
+// pure overhead (nothing is skippable while the SM keeps issuing) and turns
+// off until the next fully-idle tick.
+const adaptiveHotTicks = 64
+
 // Tick advances the SM one cycle and recomputes the fast-forward bound
 // (see NextWakeup).
 func (s *SM) Tick() {
@@ -377,21 +412,44 @@ func (s *SM) Tick() {
 	activeWarps := 0
 	quiet := true     // no issue, reap or cross-warp event this tick
 	wake := neverWake // min over ineligible warps' wakeup bounds
-	s.stateHist = [NumWarpStates]uint64{}
-	s.activeSubps = 0
+	track := s.wakeTrack
+	if track {
+		s.stateHist = [NumWarpStates]uint64{}
+		s.activeSubps = 0
+	}
 
+	// candidates shares one backing array (s.candScratch) across every
+	// subpartition: pick consumes it before the next truncation, and the
+	// possibly re-grown backing is stored back exactly once after the loop.
+	candidates := s.candScratch[:0]
 	for _, sp := range s.subparts {
-		candidates := s.candScratch[:0]
+		if sp.nres == 0 {
+			continue
+		}
+		candidates = candidates[:0]
 		states := &s.stateScratch
 		for slot, w := range sp.warps {
 			if w == nil {
 				continue
 			}
 			activeWarps++
+			if now < w.wakeAt && !s.noWakeList {
+				// Wake-list skip: the warp's last classify bound proves a
+				// re-run now would return lastState and mutate nothing.
+				// lastState is never Selected/NotSelected here (eligible
+				// warps get wakeAt = 0), so the winner pass below accounts
+				// the skipped warp exactly as a fresh classify would.
+				states[slot] = w.lastState
+				if w.wakeAt < wake {
+					wake = w.wakeAt
+				}
+				continue
+			}
 			st, eligible, wb := s.classify(sp, w, now)
 			states[slot] = st
 			if eligible {
 				candidates = append(candidates, slot)
+				w.wakeAt = 0
 			} else {
 				if wb <= now {
 					wb = now + 1
@@ -399,6 +457,7 @@ func (s *SM) Tick() {
 				if wb < wake {
 					wake = wb
 				}
+				w.wakeAt = wb
 			}
 		}
 		winner := s.pick(sp, candidates)
@@ -413,7 +472,9 @@ func (s *SM) Tick() {
 				st = StateNotSelected // eligible but not picked
 			}
 			s.ctr.WarpStateCycles[st]++
-			s.stateHist[st]++
+			if track {
+				s.stateHist[st]++
+			}
 			w.lastState = st
 		}
 		if winner >= 0 {
@@ -421,20 +482,22 @@ func (s *SM) Tick() {
 			sp.lastIssued = winner
 			quiet = false
 		}
-		s.candScratch = candidates[:0]
-		if sp.resident() > 0 {
-			s.ctr.SubpActiveCycles++
+		s.ctr.SubpActiveCycles++
+		if track {
 			s.activeSubps++
 		}
 	}
+	s.candScratch = candidates[:0]
 
-	s.histWarps = uint64(activeWarps)
+	if track {
+		s.histWarps = uint64(activeWarps)
+	}
 	s.ctr.ActiveWarpCycles += uint64(activeWarps)
 	if activeWarps > 0 {
 		s.ctr.ActiveCycles++
 	}
 
-	if s.reapFinished(now) {
+	if s.drainCount > 0 && s.reapFinished(now) {
 		quiet = false
 	}
 	if s.tickEvent {
@@ -448,6 +511,29 @@ func (s *SM) Tick() {
 		s.traceBase = cur
 	}
 
+	if !track {
+		// Bookkeeping is off: never fast-forward. Re-arm at the first
+		// quiescent tick — the tick on which every subpartition sat idle —
+		// or once the SM drains. That one tick's skip window is forfeited;
+		// the next tick rebuilds the histogram before any skip can happen.
+		if quiet || activeWarps == 0 {
+			s.wakeTrack = true
+			s.hotStreak = 0
+		}
+		s.nextWakeup = s.cycle
+		return
+	}
+	if s.adaptiveFF && activeWarps > 0 {
+		if quiet {
+			s.hotStreak = 0
+		} else if s.hotStreak++; s.hotStreak >= adaptiveHotTicks {
+			// adaptiveHotTicks consecutive non-quiescent ticks: the SM is
+			// issuing steadily, fast-forward has nothing to skip, and the
+			// histogram rebuild is pure overhead. Go hot.
+			s.wakeTrack = false
+			s.hotStreak = 0
+		}
+	}
 	if !quiet || wake <= s.cycle {
 		s.nextWakeup = s.cycle
 		return
@@ -499,6 +585,17 @@ func (s *SM) AdvanceTo(target uint64) {
 	s.cycle = target
 }
 
+// SetAdaptiveFF enables or disables the adaptive fast-forward hysteresis.
+// When disabled, wakeup bookkeeping runs on every tick (the PR3 behaviour).
+// Host-side only: simulation results are identical either way.
+func (s *SM) SetAdaptiveFF(on bool) {
+	s.adaptiveFF = on
+	if !on {
+		s.wakeTrack = true
+		s.hotStreak = 0
+	}
+}
+
 // ResidencyVersion increments whenever the SM's resource occupancy changes
 // (block launched or warp reaped). The device's dispatcher uses it as a
 // dirty flag: an SM that rejected a block keeps rejecting it until the
@@ -519,6 +616,11 @@ func (s *SM) reapFinished(now uint64) bool {
 				continue
 			}
 			sp.warps[slot] = nil
+			sp.nres--
+			s.drainCount--
+			if cap(w.storesPending) > 0 {
+				s.storePool = append(s.storePool, w.storesPending[:0])
+			}
 			s.residentWarps--
 			s.residentThreads -= int(popcount(w.members))
 			s.residentRegs -= len(w.regs) * int(popcount(w.members))
@@ -609,6 +711,8 @@ func (s *SM) ResetClock() {
 	s.fetchBusy = 0
 	s.nextWakeup = 0
 	s.tickEvent = false
+	s.wakeTrack = true
+	s.hotStreak = 0
 	for _, sp := range s.subparts {
 		sp.pipeFree = [isa.NumPipes]uint64{}
 		sp.dispatchFree = 0

@@ -94,6 +94,14 @@ type warp struct {
 	// expired, the per-cycle classification is provably constant.
 	lastState WarpState
 
+	// wakeAt is the warp's private wake-list entry: the bound returned by its
+	// most recent classify call. While now < wakeAt, Tick skips classify
+	// entirely and charges lastState — classify's contract guarantees it
+	// would return the same state and mutate nothing until then. Eligible
+	// warps always get wakeAt = 0 (never skipped), and checkBarrier resets
+	// released warps' wakeAt so a barrier release is seen immediately.
+	wakeAt uint64
+
 	finished bool
 	dead     bool // finished already accounted against block.liveWarps
 }
@@ -181,35 +189,23 @@ func (w *warp) setRegReady(r isa.Reg, ready uint64, kind depKind) {
 
 // scoreboardBlock returns the latest-ready operand among the instruction's
 // sources, destination (WAW) and guard predicate, with its dependency class.
+// It is the ad-hoc form of scoreboardDec — the hot path uses the decoded
+// table; this wrapper decodes the hazard-relevant fields on the fly so both
+// paths share one scoreboard implementation.
 func (w *warp) scoreboardBlock(in *isa.Instr) (uint64, depKind) {
-	var ready uint64
-	kind := depNone
-	consider := func(r isa.Reg) {
-		if r == isa.RZ || int(r) >= len(w.regReady) {
-			return
-		}
-		if w.regReady[r] > ready {
-			ready = w.regReady[r]
-			kind = w.regDep[r]
-		}
+	d := decodedInstr{
+		dst:      in.Dst,
+		checkDst: in.Op.Info().WritesDst,
+		pred:     in.Pred,
+		pdstRead: isa.PT,
 	}
-	info := in.Op.Info()
-	for i := 0; i < info.NumSrcs; i++ {
-		consider(in.Srcs[i])
-	}
-	if info.WritesDst {
-		consider(in.Dst)
-	}
-	if in.Pred != isa.PT && w.predReady[in.Pred] > ready {
-		ready = w.predReady[in.Pred]
-		kind = depFixed
-	}
+	regs, n := in.SourceRegs()
+	d.srcs, d.nsrcs = regs, uint8(n)
 	// SEL and VOTE read the predicate in PDst.
-	if (in.Op == isa.OpSEL || in.Op == isa.OpVOTE) && in.PDst != isa.PT && w.predReady[in.PDst] > ready {
-		ready = w.predReady[in.PDst]
-		kind = depFixed
+	if in.Op == isa.OpSEL || in.Op == isa.OpVOTE {
+		d.pdstRead = in.PDst
 	}
-	return ready, kind
+	return w.scoreboardDec(&d)
 }
 
 // drainStores drops completed stores and returns the number still pending.
@@ -244,6 +240,7 @@ type blockCtx struct {
 	ctaid       [3]int64
 	blockLinear int
 	launch      *kernel.Launch
+	dec         *decodedProgram // per-SM decoded table for launch.Program
 	shared      []byte
 	liveWarps   int
 	remaining   int // warps not yet fully drained
