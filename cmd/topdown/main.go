@@ -47,6 +47,7 @@ func main() {
 	traceBlocks := flag.Bool("trace-blocks", false, "include per-block dispatch instants in the trace (voluminous)")
 	overhead := flag.Bool("overhead", false, "print a measured replay-overhead summary line per app")
 	replayWorkers := flag.Int("replay-workers", 1, "concurrent replay-pass workers per kernel (0 = all CPU cores, 1 = sequential)")
+	simWorkers := flag.Int("sim-workers", 1, "intra-launch SM-simulation workers per device (1 = sequential; bit-identical results at any setting)")
 	replayCache := flag.Bool("replay-cache", false, "memoize byte-identical kernel invocations instead of re-simulating them")
 	ff := flag.Bool("ff", true, "fast-forward provably idle cycle spans (bit-identical results; -ff=false runs the naive cycle loop)")
 	all := flag.Bool("all", false, "profile every app of -suite (a sweep; pairs with -serve and the progress log)")
@@ -71,7 +72,7 @@ func main() {
 
 	if *remote != "" {
 		remoteProfile(ctx, *remote, *suite, *appName, *gpuID, *level, *raw, *hwpm,
-			*replayWorkers, replayCache, ff, *remoteTimeout)
+			*replayWorkers, *simWorkers, replayCache, ff, *remoteTimeout)
 		return
 	}
 
@@ -122,6 +123,7 @@ func main() {
 		opts = append(opts, gputopdown.WithObserver(tracer, registry))
 	}
 	opts = append(opts, gputopdown.WithReplayWorkers(*replayWorkers),
+		gputopdown.WithSimWorkers(*simWorkers),
 		gputopdown.WithReplayCache(*replayCache),
 		gputopdown.WithFastForward(*ff))
 
@@ -233,7 +235,7 @@ func main() {
 // remoteProfile builds a v1 JobRequest from the CLI flags, submits it to a
 // gpuprofd daemon, waits for the terminal state, and prints the report.
 func remoteProfile(ctx context.Context, base, suite, appName, gpuID string,
-	level int, raw, hwpm bool, replayWorkers int, replayCache, ff *bool, timeout time.Duration) {
+	level int, raw, hwpm bool, replayWorkers, simWorkers int, replayCache, ff *bool, timeout time.Duration) {
 	if appName == "" {
 		fatalf("missing -app (remote mode profiles one app; try -list)")
 	}
@@ -244,6 +246,7 @@ func remoteProfile(ctx context.Context, base, suite, appName, gpuID string,
 		Level:         level,
 		RawEquations:  raw,
 		ReplayWorkers: replayWorkers,
+		SimWorkers:    simWorkers,
 		ReplayCache:   replayCache,
 		FastForward:   ff,
 		TimeoutMS:     timeout.Milliseconds(),

@@ -85,6 +85,16 @@ type Spec struct {
 	SectorSize int
 	L2Size     int // device-wide L2 bytes
 	L2Ways     int
+	// L2Slices is the number of address-interleaved L2 partitions (and DRAM
+	// channels behind them), as real GPUs slice the L2 across memory
+	// partitions. Consecutive cache lines map to consecutive slices; each
+	// slice is an independent L2Size/L2Slices cache backed by a channel with
+	// 1/L2Slices of the DRAM bandwidth and queue depth. Must be a power of
+	// two. The slicing is a device property — every launch engine (naive,
+	// fast-forward, parallel) simulates the same sliced structure, which is
+	// what lets the parallel engine shard memory traffic by slice without
+	// changing results.
+	L2Slices int
 
 	// Constant path: a small immediate-constant cache (IMC) in front of a
 	// constant bank.
@@ -166,6 +176,10 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("gpu %s: line size %d / sector size %d", s.Name, s.LineSize, s.SectorSize)
 	case s.L1Size <= 0 || s.L2Size <= 0 || s.ICacheSize <= 0 || s.IMCSize <= 0:
 		return fmt.Errorf("gpu %s: non-positive cache size", s.Name)
+	case s.L2Slices < 1 || s.L2Slices&(s.L2Slices-1) != 0:
+		return fmt.Errorf("gpu %s: L2Slices = %d (want a power of two)", s.Name, s.L2Slices)
+	case s.L2Size%s.L2Slices != 0:
+		return fmt.Errorf("gpu %s: L2Size %d not divisible by %d slices", s.Name, s.L2Size, s.L2Slices)
 	case s.FetchCyclesPerLine < 1 || s.DecodeDelay < 1:
 		return fmt.Errorf("gpu %s: fetch throughput/decode delay must be positive", s.Name)
 	case s.SchedulingPolicy != "gto" && s.SchedulingPolicy != "lrr":
@@ -193,6 +207,13 @@ func (s *Spec) WithSMs(n int) *Spec {
 	c.L2Size = s.L2Size * n / s.SMs
 	if c.L2Size < 64*1024 {
 		c.L2Size = 64 * 1024
+	}
+	// Keep the scaled capacity an exact multiple of the slice granularity so
+	// every slice gets the same whole number of lines.
+	if g := c.L2Slices * c.LineSize; g > 0 {
+		if r := c.L2Size % g; r != 0 {
+			c.L2Size += g - r
+		}
 	}
 	c.SMs = n
 	return &c
@@ -235,6 +256,7 @@ func GTX1070() *Spec {
 		SectorSize: 32,
 		L2Size:     2 * 1024 * 1024,
 		L2Ways:     16,
+		L2Slices:   4,
 
 		IMCSize:       2 * 1024,
 		IMCWays:       4,
@@ -317,6 +339,7 @@ func QuadroRTX4000() *Spec {
 		SectorSize: 32,
 		L2Size:     4 * 1024 * 1024,
 		L2Ways:     16,
+		L2Slices:   4,
 
 		IMCSize:       2 * 1024,
 		IMCWays:       4,

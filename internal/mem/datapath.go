@@ -21,27 +21,25 @@ type DataPathStats struct {
 }
 
 // DataPath is the per-SM slice of the memory hierarchy: a private L1 data
-// cache and immediate-constant cache in front of the device-shared L2 and
-// DRAM. All methods take the SM's current cycle and return the completion
-// cycle of the access.
+// cache and immediate-constant cache in front of the device-shared sliced
+// L2/DRAM system. All methods take the SM's current cycle and return the
+// completion cycle of the access.
 type DataPath struct {
 	spec *gpu.Spec
 	L1   *Cache
 	IMC  *Cache
-	L2   *Cache // shared with every other SM
-	DRAM *DRAM  // shared
+	Mem  *MemSys // shared with every other SM
 	st   DataPathStats
 }
 
-// NewDataPath builds the private caches for one SM around the shared L2 and
-// DRAM.
-func NewDataPath(spec *gpu.Spec, smID int, l2 *Cache, dram *DRAM) *DataPath {
+// NewDataPath builds the private caches for one SM around the shared memory
+// system.
+func NewDataPath(spec *gpu.Spec, smID int, ms *MemSys) *DataPath {
 	return &DataPath{
 		spec: spec,
 		L1:   NewCache("L1D", spec.L1Size, spec.L1Ways, spec.LineSize, spec.SectorSize),
 		IMC:  NewCache("IMC", spec.IMCSize, spec.IMCWays, 64, 64),
-		L2:   l2,
-		DRAM: dram,
+		Mem:  ms,
 	}
 }
 
@@ -53,15 +51,112 @@ func (dp *DataPath) loadSector(now uint64, addr uint64) uint64 {
 		return now + uint64(dp.spec.L1Latency)
 	}
 	dp.st.L1Misses++
-	if dp.L2.Access(addr) {
-		dp.st.L2Hits++
+	return dp.SharedLoadSector(now, addr, dp.Mem.SliceOf(addr), &dp.st)
+}
+
+// SharedLoadSector runs one sector through the shared L2 slice → DRAM channel
+// (the part of a load below the SM-private L1) and returns its completion
+// cycle. The caller passes slice == Mem.SliceOf(addr). L2 hit/miss counts go
+// to st, not the DataPath's own statistics: the parallel engine drains slices
+// of one SM from different workers concurrently and merges per-slice deltas
+// afterwards (sums commute, so the merged totals match the sequential
+// engine's bit for bit). The sequential path passes &dp.st.
+func (dp *DataPath) SharedLoadSector(now uint64, addr uint64, slice int, st *DataPathStats) uint64 {
+	if dp.Mem.AccessSlice(slice, addr) {
+		st.L2Hits++
 		return now + uint64(dp.spec.L2Latency)
 	}
-	dp.st.L2Misses++
-	done := dp.DRAM.Request(now, int(dp.spec.SectorSize))
+	st.L2Misses++
+	done := dp.Mem.RequestSlice(slice, now, int(dp.spec.SectorSize))
 	base := now + uint64(dp.spec.DRAMLatency)
 	if done < base {
 		done = base
+	}
+	return done
+}
+
+// SharedStoreSector runs one store sector through the shared L2 slice,
+// charging the DRAM channel on a write miss.
+func (dp *DataPath) SharedStoreSector(now uint64, addr uint64, slice int, st *DataPathStats) {
+	if dp.Mem.AccessSlice(slice, addr) {
+		st.L2Hits++
+		return
+	}
+	st.L2Misses++
+	dp.Mem.RequestSlice(slice, now, int(dp.spec.SectorSize))
+}
+
+// SharedAtomicSector runs one atomic sector through the shared L2 slice and
+// returns its completion cycle (0 on an L2 hit: a hit does not lengthen the
+// atomic's L2-latency base).
+func (dp *DataPath) SharedAtomicSector(now uint64, addr uint64, slice int, st *DataPathStats) uint64 {
+	if dp.Mem.AccessSlice(slice, addr) {
+		st.L2Hits++
+		return 0
+	}
+	st.L2Misses++
+	d := dp.Mem.RequestSlice(slice, now, int(dp.spec.SectorSize))
+	if base := now + uint64(dp.spec.DRAMLatency); d < base {
+		d = base
+	}
+	return d
+}
+
+// MergeSharedStats folds a per-slice L2 hit/miss delta (accumulated by a
+// parallel drain) into the DataPath's statistics.
+func (dp *DataPath) MergeSharedStats(st *DataPathStats) {
+	dp.st.L2Hits += st.L2Hits
+	dp.st.L2Misses += st.L2Misses
+}
+
+// The Begin* methods record the instruction-level statistics of a deferred
+// memory operation during the compute phase, before its shared-memory half
+// has run. Together with L1LoadSector they let the SM split GlobalLoad /
+// GlobalStore / Atomic / TexFetch into a phase-A (SM-private) and a phase-B
+// (per-slice) part that sum to exactly the sequential accounting.
+
+// BeginDeferredLoad records a global load of n sectors.
+func (dp *DataPath) BeginDeferredLoad(n int) {
+	dp.st.GlobalLoads++
+	dp.st.LoadSectors += uint64(n)
+}
+
+// BeginDeferredStore records a global store of n sectors.
+func (dp *DataPath) BeginDeferredStore(n int) {
+	dp.st.GlobalStores++
+	dp.st.StoreSectors += uint64(n)
+}
+
+// BeginDeferredAtomic records a warp atomic with ops active lanes.
+func (dp *DataPath) BeginDeferredAtomic(ops int) { dp.st.Atomics += uint64(ops) }
+
+// BeginDeferredTex records a texture fetch.
+func (dp *DataPath) BeginDeferredTex() { dp.st.TexFetches++ }
+
+// L1LoadSector runs one sector through the SM-private L1 only, reporting
+// whether it hit; a miss is routed to the shared system by the caller.
+func (dp *DataPath) L1LoadSector(addr uint64) bool {
+	if dp.L1.Access(addr) {
+		dp.st.L1Hits++
+		return true
+	}
+	dp.st.L1Misses++
+	return false
+}
+
+// AtomicAdjust applies the atomic unit's serialisation penalties on top of a
+// request's cache/DRAM completion cycle: same-address RMWs serialise
+// strictly, distinct addresses still share the unit's throughput.
+func (dp *DataPath) AtomicAdjust(done uint64, ops, maxContention int) uint64 {
+	const (
+		sameAddrPer = 4 // cycles per additional same-address RMW
+		throughput  = 1 // cycles per additional distinct-address RMW
+	)
+	if maxContention > 1 {
+		done += uint64((maxContention - 1) * sameAddrPer)
+	}
+	if extra := ops - maxContention; extra > 0 {
+		done += uint64(extra * throughput)
 	}
 	return done
 }
@@ -93,12 +188,7 @@ func (dp *DataPath) GlobalStore(now uint64, sectors []uint64) (posted, visible u
 	posted = now + uint64(dp.spec.L1Latency) + uint64(len(sectors))
 	visible = now + uint64(dp.spec.L2Latency)
 	for _, s := range sectors {
-		if dp.L2.Access(s) {
-			dp.st.L2Hits++
-			continue
-		}
-		dp.st.L2Misses++
-		dp.DRAM.Request(now, int(dp.spec.SectorSize))
+		dp.SharedStoreSector(now, s, dp.Mem.SliceOf(s), &dp.st)
 	}
 	return posted, visible, len(sectors)
 }
@@ -139,32 +229,13 @@ func (dp *DataPath) TexFetch(now uint64, sectors []uint64) (uint64, int) {
 // and distinct addresses still share the L2 atomic unit's throughput.
 func (dp *DataPath) Atomic(now uint64, sectors []uint64, ops, maxContention int) (uint64, int) {
 	dp.st.Atomics += uint64(ops)
-	const (
-		sameAddrPer = 4 // cycles per additional same-address RMW
-		throughput  = 1 // cycles per additional distinct-address RMW
-	)
 	done := now + uint64(dp.spec.L2Latency)
 	for _, s := range sectors {
-		if dp.L2.Access(s) {
-			dp.st.L2Hits++
-			continue
-		}
-		dp.st.L2Misses++
-		d := dp.DRAM.Request(now, int(dp.spec.SectorSize))
-		if base := now + uint64(dp.spec.DRAMLatency); d < base {
-			d = base
-		}
-		if d > done {
+		if d := dp.SharedAtomicSector(now, s, dp.Mem.SliceOf(s), &dp.st); d > done {
 			done = d
 		}
 	}
-	if maxContention > 1 {
-		done += uint64((maxContention - 1) * sameAddrPer)
-	}
-	if extra := ops - maxContention; extra > 0 {
-		done += uint64(extra * throughput)
-	}
-	return done, len(sectors)
+	return dp.AtomicAdjust(done, ops, maxContention), len(sectors)
 }
 
 // Stats returns a copy of the accumulated statistics.

@@ -8,9 +8,7 @@ import (
 
 func newTestPath() *DataPath {
 	spec := gpu.QuadroRTX4000()
-	l2 := NewCache("L2", spec.L2Size, spec.L2Ways, spec.LineSize, spec.SectorSize)
-	dram := NewDRAM(spec.DRAMLatency, spec.DRAMBytesPerCycle, spec.DRAMQueueDepth)
-	return NewDataPath(spec, 0, l2, dram)
+	return NewDataPath(spec, 0, NewMemSys(spec))
 }
 
 func TestGlobalLoadHierarchy(t *testing.T) {
@@ -58,7 +56,7 @@ func TestGlobalStoreWriteThrough(t *testing.T) {
 	if dp.L1.Probe(0x3000) {
 		t.Error("store allocated in L1 (should be write-through no-allocate)")
 	}
-	if !dp.L2.Probe(0x3000) {
+	if !dp.Mem.Probe(0x3000) {
 		t.Error("store did not allocate in L2")
 	}
 	st := dp.Stats()

@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"testing"
+
+	"gputopdown/internal/gpu"
+)
+
+// slicedSpec returns a paper spec with the L2 split n ways.
+func slicedSpec(n int) *gpu.Spec {
+	spec := gpu.QuadroRTX4000()
+	spec.L2Slices = n
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// TestSliceRoutingPartition pins the routing invariants for every supported
+// slice count: each address maps to exactly one in-range slice, all bytes of
+// a cache line share it, consecutive lines interleave round-robin, and the
+// slices partition the line space into equal shares.
+func TestSliceRoutingPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		ms := NewMemSys(slicedSpec(n))
+		if ms.NumSlices() != n {
+			t.Fatalf("n=%d: NumSlices = %d", n, ms.NumSlices())
+		}
+		line := uint64(ms.spec.LineSize)
+		perSlice := make([]int, n)
+		const lines = 1 << 12
+		for ln := uint64(0); ln < lines; ln++ {
+			base := ln * line
+			s := ms.SliceOf(base)
+			if s < 0 || s >= n {
+				t.Fatalf("n=%d: SliceOf(%#x) = %d out of range", n, base, s)
+			}
+			if want := int(ln) % n; s != want {
+				t.Fatalf("n=%d: line %d routed to slice %d, want round-robin %d", n, ln, s, want)
+			}
+			perSlice[s]++
+			// Every byte of the line lands on the same slice, and the rebased
+			// address preserves the byte offset within the line.
+			for _, off := range []uint64{1, line / 2, line - 1} {
+				if got := ms.SliceOf(base + off); got != s {
+					t.Fatalf("n=%d: %#x+%d routed to %d, line base to %d", n, base, off, got, s)
+				}
+				if ms.Rebase(base+off)-ms.Rebase(base) != off {
+					t.Fatalf("n=%d: Rebase does not preserve offset %d within line %#x", n, off, base)
+				}
+			}
+		}
+		for s, c := range perSlice {
+			if c != lines/n {
+				t.Errorf("n=%d: slice %d owns %d of %d lines, want %d", n, s, c, lines, lines/n)
+			}
+		}
+	}
+}
+
+// TestSliceRebaseDense pins that rebasing maps each slice's lines onto a
+// dense private line space: the k-th line owned by a slice rebases to local
+// line k, so set indexing behaves exactly like an unsliced cache of the
+// slice's size.
+func TestSliceRebaseDense(t *testing.T) {
+	ms := NewMemSys(slicedSpec(4))
+	line := uint64(ms.spec.LineSize)
+	next := make([]uint64, ms.NumSlices())
+	for ln := uint64(0); ln < 1<<10; ln++ {
+		base := ln * line
+		s := ms.SliceOf(base)
+		if got := ms.Rebase(base); got != next[s]*line {
+			t.Fatalf("line %d (slice %d): Rebase = %#x, want dense %#x", ln, s, got, next[s]*line)
+		}
+		next[s]++
+	}
+}
+
+// FuzzSliceRouting drives the routing pair (SliceOf, Rebase) with arbitrary
+// addresses and slice counts and checks bijectivity: the (slice, rebased)
+// pair must reconstruct the original address exactly, so every address is
+// owned by exactly one slice-local line and no two addresses collide.
+func FuzzSliceRouting(f *testing.F) {
+	f.Add(uint64(0), uint8(4))
+	f.Add(uint64(0x1234_5678), uint8(1))
+	f.Add(uint64(1)<<40, uint8(8))
+	f.Add(^uint64(0)>>8, uint8(2))
+	systems := map[uint8]*MemSys{}
+	for _, n := range []uint8{1, 2, 4, 8} {
+		systems[n] = NewMemSys(slicedSpec(int(n)))
+	}
+	f.Fuzz(func(t *testing.T, addr uint64, nRaw uint8) {
+		n := []uint8{1, 2, 4, 8}[nRaw%4]
+		ms := systems[n]
+		s := ms.SliceOf(addr)
+		if s < 0 || s >= int(n) {
+			t.Fatalf("SliceOf(%#x) = %d with %d slices", addr, s, n)
+		}
+		local := ms.Rebase(addr)
+		// Reconstruct: local line number, re-interleaved with the slice index,
+		// plus the preserved byte offset.
+		lineShift, sliceBits := ms.lineShift, ms.sliceBits
+		back := ((local>>lineShift)<<sliceBits|uint64(s))<<lineShift | (local & ms.lineMask)
+		if back != addr {
+			t.Fatalf("routing not bijective: addr %#x -> (slice %d, local %#x) -> %#x", addr, s, local, back)
+		}
+		// Line-mates agree on the slice.
+		lineBase := addr &^ ms.lineMask
+		if ms.SliceOf(lineBase) != s || ms.SliceOf(lineBase|ms.lineMask) != s {
+			t.Fatalf("line containing %#x split across slices", addr)
+		}
+	})
+}

@@ -49,6 +49,12 @@ type JobRequest struct {
 	SampleEvery int `json:"sample_every,omitempty"`
 	// ReplayWorkers bounds concurrent replay passes; 0 uses the default.
 	ReplayWorkers int `json:"replay_workers,omitempty"`
+	// SimWorkers is the intra-launch parallelism degree: workers one kernel
+	// launch shards its SM simulation across. 0 uses the default (1,
+	// sequential). Added in a backward-compatible v1 revision; absent on
+	// old clients means sequential, and results are bit-identical at every
+	// setting.
+	SimWorkers int `json:"sim_workers,omitempty"`
 	// ReplayCache and FastForward toggle those engines; nil keeps the
 	// daemon default (tri-state so "false" is distinguishable from unset).
 	ReplayCache *bool `json:"replay_cache,omitempty"`
@@ -87,6 +93,9 @@ func (r *JobRequest) Validate() error {
 	}
 	if r.ReplayWorkers < 0 {
 		return fmt.Errorf("%w: replay_workers %d negative", ErrBadRequest, r.ReplayWorkers)
+	}
+	if r.SimWorkers < 0 {
+		return fmt.Errorf("%w: sim_workers %d negative", ErrBadRequest, r.SimWorkers)
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("%w: timeout_ms %d negative", ErrBadRequest, r.TimeoutMS)

@@ -134,6 +134,7 @@ func TestSubmitValidation(t *testing.T) {
 		{Suite: "a", App: "b", Level: 9},         // level out of range
 		{Suite: "a", App: "b", Mode: "wrong"},    // bad mode
 		{Suite: "a", App: "b", TimeoutMS: -1},    // negative timeout
+		{Suite: "a", App: "b", SimWorkers: -1},   // negative sim workers
 		{Suite: "a", App: "b", APIVersion: "v2"}, // future version
 	}
 	for i, req := range cases {

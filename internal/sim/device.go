@@ -39,12 +39,17 @@ type Device struct {
 	Spec    *gpu.Spec
 	Storage *mem.Storage
 	Const   *mem.ConstantBank
-	L2      *mem.Cache
-	DRAM    *mem.DRAM
+	Mem     *mem.MemSys // address-sliced L2 banks + per-slice DRAM channels
 	SMs     []*sm.SM
 
 	launches      uint64
 	traceInterval uint64
+
+	// simWorkers is the intra-launch parallelism degree: 1 (default) runs the
+	// sequential engine; >1 shards SM ticks and L2-slice drains across an
+	// epoch-lockstep worker pool (see parallel.go). Results are bit-identical
+	// at every setting.
+	simWorkers int
 
 	// fastForward enables the event-driven engine: when every busy SM
 	// reports a wakeup bound past the current cycle, Launch jumps all SM
@@ -76,6 +81,14 @@ type Device struct {
 	// log is the component-scoped ("sim") structured logger; nil when
 	// logging is disabled (see SetLogger).
 	log *obs.Logger
+
+	// Per-launch scratch reused across launches so the Launch prologue
+	// allocates nothing: pre-launch counter snapshots, which SMs received a
+	// block, and the dispatch dirty flags.
+	launchBefore   []sm.Counters
+	launchUsed     []bool
+	launchRejected []uint64
+	dueScratch     []*sm.SM
 }
 
 // NewDevice builds a device with the default memory size.
@@ -91,19 +104,23 @@ func NewDeviceMem(spec *gpu.Spec, memBytes int) *Device {
 	return assemble(spec, mem.NewStorage(memBytes), mem.NewConstantBank(spec.ConstBankSize))
 }
 
-// assemble wires SMs, L2 and DRAM around the given memory substrate.
+// assemble wires SMs and the sliced memory system around the given substrate.
 func assemble(spec *gpu.Spec, storage *mem.Storage, constBank *mem.ConstantBank) *Device {
 	d := &Device{
-		Spec:        spec,
-		Storage:     storage,
-		Const:       constBank,
-		L2:          mem.NewCache("L2", spec.L2Size, spec.L2Ways, spec.LineSize, spec.SectorSize),
-		DRAM:        mem.NewDRAM(spec.DRAMLatency, spec.DRAMBytesPerCycle, spec.DRAMQueueDepth),
-		fastForward: true,
-		adaptiveFF:  true,
+		Spec:           spec,
+		Storage:        storage,
+		Const:          constBank,
+		Mem:            mem.NewMemSys(spec),
+		fastForward:    true,
+		adaptiveFF:     true,
+		simWorkers:     1,
+		launchBefore:   make([]sm.Counters, spec.SMs),
+		launchUsed:     make([]bool, spec.SMs),
+		launchRejected: make([]uint64, spec.SMs),
+		dueScratch:     make([]*sm.SM, 0, spec.SMs),
 	}
 	for i := 0; i < spec.SMs; i++ {
-		d.SMs = append(d.SMs, sm.New(spec, i, d.L2, d.DRAM, d.Storage, d.Const))
+		d.SMs = append(d.SMs, sm.New(spec, i, d.Mem, d.Storage, d.Const))
 	}
 	return d
 }
@@ -125,9 +142,33 @@ func (d *Device) Clone() *Device {
 	c := assemble(d.Spec, d.Storage.Clone(), d.Const.Clone())
 	c.traceInterval = d.traceInterval
 	c.fastForward = d.fastForward
+	c.simWorkers = d.simWorkers
 	c.SetAdaptiveFastForward(d.adaptiveFF)
 	return c
 }
+
+// SetSimWorkers sets the intra-launch parallelism degree, clamped to
+// [1, maxSimWorkers]. 1 selects the sequential engine. Results are
+// bit-identical at every setting; only host wall-clock changes. The device
+// deliberately does not clamp to GOMAXPROCS — correctness never depends on
+// worker count, so tests can exercise the parallel engine on any host. The
+// root API option (WithSimWorkers) applies the GOMAXPROCS budget clamp.
+func (d *Device) SetSimWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxSimWorkers {
+		n = maxSimWorkers
+	}
+	d.simWorkers = n
+}
+
+// maxSimWorkers bounds the worker pool; beyond the SM count extra workers
+// idle anyway, and no real part exceeds this.
+const maxSimWorkers = 256
+
+// SimWorkers returns the current intra-launch parallelism degree.
+func (d *Device) SimWorkers() int { return d.simWorkers }
 
 // SetFastForward toggles the event-driven fast-forward engine. It exists
 // as an escape hatch and as the baseline side of the cross-engine
@@ -172,7 +213,7 @@ func (d *Device) FreeAll() { d.Storage.FreeAll() }
 // FlushCaches invalidates every cache on the device — what the profiler does
 // between replay passes so each pass observes cold-start conditions.
 func (d *Device) FlushCaches() {
-	d.L2.Flush()
+	d.Mem.FlushL2()
 	for _, s := range d.SMs {
 		s.FlushCaches()
 	}
@@ -200,16 +241,22 @@ func (d *Device) DisableTrace() {
 func (d *Device) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
 	d.tracer = tr
 	d.obsOn = tr != nil || reg != nil
-	d.mLaunches = reg.Counter("sim_launches_total",
-		"Kernel launches executed on the simulated device.", nil)
-	d.mBlocks = reg.Counter("sim_blocks_dispatched_total",
-		"Thread blocks dispatched to SMs by the GigaThread engine model.", nil)
-	d.mCycles = reg.Counter("sim_cycles_total",
-		"Simulated device cycles executed across all launches.", nil)
-	d.mWall = reg.Counter("sim_wall_seconds_total",
-		"Host wall-clock seconds spent simulating kernel launches.", nil)
-	d.gThroughput = reg.Gauge("sim_throughput_cycles_per_second",
-		"Simulation speed: simulated cycles per wall-clock second.", nil)
+	// A nil registry detaches the metric handles, exactly as a nil tracer
+	// detaches the trace path; the launch epilogue's handle calls are
+	// nil-safe, so tracer-only observers pay no metrics cost.
+	d.mLaunches, d.mBlocks, d.mCycles, d.mWall, d.gThroughput = nil, nil, nil, nil, nil
+	if reg != nil {
+		d.mLaunches = reg.Counter("sim_launches_total",
+			"Kernel launches executed on the simulated device.", nil)
+		d.mBlocks = reg.Counter("sim_blocks_dispatched_total",
+			"Thread blocks dispatched to SMs by the GigaThread engine model.", nil)
+		d.mCycles = reg.Counter("sim_cycles_total",
+			"Simulated device cycles executed across all launches.", nil)
+		d.mWall = reg.Counter("sim_wall_seconds_total",
+			"Host wall-clock seconds spent simulating kernel launches.", nil)
+		d.gThroughput = reg.Gauge("sim_throughput_cycles_per_second",
+			"Simulation speed: simulated cycles per wall-clock second.", nil)
+	}
 	if tr != nil {
 		tr.NameProcess(obs.PIDProfiler, "profiler (wall clock)")
 		tr.NameProcess(obs.PIDSim, "simulated GPU ("+d.Spec.Name+")")
@@ -321,177 +368,21 @@ func (d *Device) LaunchCtx(ctx context.Context, l *kernel.Launch) (*RunResult, e
 		spanStart = d.tracer.Now()
 	}
 
-	// Materialise launch parameters in the constant bank, as the driver
-	// does before a CUDA launch, and invalidate the per-SM constant caches
-	// that may hold stale bank contents.
-	for i, p := range l.Params {
-		d.Const.Write(kernel.ParamOffset(i), p, 8)
-	}
-	for _, s := range d.SMs {
-		s.FlushIMC()
-	}
-
-	// Per-launch local-memory backing, released when the kernel finishes.
-	markMem := d.Storage.Mark()
-	var localBase uint64
-	totalThreads := l.TotalThreads()
-	if l.Program.LocalBytes > 0 {
-		localBase = d.Storage.Alloc(l.Program.LocalBytes * totalThreads)
+	markMem, err := d.launchPrologue(l)
+	if err != nil {
+		return nil, err
 	}
 	defer d.Storage.Release(markMem)
 
-	before := make([]sm.Counters, len(d.SMs))
-	for i, s := range d.SMs {
-		if s.Busy() {
-			return nil, fmt.Errorf("sim: SM %d busy at launch of %s", i, l.Program.Name)
-		}
-		s.ResetClock()
-		s.SetLaunchContext(localBase, totalThreads)
-		before[i] = s.Counters()
-		if d.traceInterval > 0 {
-			s.EnableTrace(d.traceInterval)
-		} else {
-			s.DisableTrace()
-		}
-	}
-	d.DRAM.Reset()
-
 	nb := l.NumBlocks()
-	next := 0
-	used := make([]bool, len(d.SMs))
-	var guard uint64
 	d.lastTicks = 0
-	blockDetail := d.tracer.BlockDetail()
-	// Residency samples ride the trace's simulated-time track; emit them
-	// only when tracing is actually enabled, not merely when a tracer is
-	// attached.
-	sampleResidency := d.tracer != nil && d.traceInterval > 0
-	// Dispatch dirty flags: the residency version at which each SM last
-	// rejected a block. CanAccept is a pure function of occupancy, so until
-	// the version moves the SM would keep rejecting — skip re-probing it.
-	const neverRejected = ^uint64(0)
-	rejected := make([]uint64, len(d.SMs))
-	for i := range rejected {
-		rejected[i] = neverRejected
+	if d.simWorkers > 1 && len(d.SMs) > 1 {
+		err = d.runLoopParallel(ctx, done, l, nb)
+	} else {
+		err = d.runLoop(ctx, done, l, nb)
 	}
-
-	var loopIters uint64
-	for {
-		if done != nil {
-			if loopIters%ctxCheckInterval == 0 {
-				select {
-				case <-done:
-					// Leave the device reusable: the aborted kernel's blocks
-					// are still resident, so rebuild the SMs to idle.
-					d.ResetSMs()
-					return nil, fmt.Errorf("sim: kernel %s cancelled after %d cycles: %w",
-						l.Program.Name, guard, ctx.Err())
-				default:
-				}
-			}
-			loopIters++
-		}
-
-		// Greedy block dispatch, round-robin across SMs for balance.
-		progress := true
-		for progress && next < nb {
-			progress = false
-			for i, s := range d.SMs {
-				if next >= nb {
-					break
-				}
-				if rejected[i] == s.ResidencyVersion() {
-					continue // occupancy unchanged since last rejection
-				}
-				if s.CanAccept(l) {
-					s.LaunchBlock(l, ctaidOf(next, l.Grid), next)
-					if blockDetail {
-						d.tracer.Instant(obs.PIDSim, i, "dispatch", "block",
-							d.simCursorUS+obs.CyclesToUS(guard, d.Spec.ClockMHz),
-							map[string]any{"block": next, "sm": i})
-					}
-					used[i] = true
-					next++
-					progress = true
-				} else {
-					rejected[i] = s.ResidencyVersion()
-				}
-			}
-		}
-
-		// Per-SM block-residency samples onto the simulated-time track.
-		if sampleResidency && guard%residencySampleCycles == 0 {
-			ts := d.simCursorUS + obs.CyclesToUS(guard, d.Spec.ClockMHz)
-			for i, s := range d.SMs {
-				d.tracer.CounterValue(obs.PIDSim, i, d.smTracks[i], "blocks",
-					ts, float64(s.ResidentBlocks()))
-			}
-		}
-
-		// Tick every busy SM whose clock has caught up with the device
-		// cycle. Under fast-forward, an SM whose tick came back quiescent
-		// (NextWakeup past its clock) is parked: its idle span is
-		// bulk-accounted immediately and the SM is left with its clock in
-		// the future, to be ticked again only when guard reaches it. This
-		// is safe out of lockstep because a quiescent tick mutates neither
-		// the SM nor the shared L2/DRAM — the naive loop's interleaving
-		// performs the same shared-state mutation sequence. minNext tracks
-		// the earliest cycle at which any busy SM must tick again.
-		busy := false
-		minNext := ^uint64(0)
-		for _, s := range d.SMs {
-			if !s.Busy() {
-				continue
-			}
-			busy = true
-			c := s.Cycle()
-			if c <= guard {
-				s.Tick()
-				d.lastTicks++
-				c = s.Cycle()
-				if d.fastForward {
-					if w := s.NextWakeup(); w > c {
-						// Cap runaway bounds (a deadlocked SM reports
-						// neverWake) so the cycle guard below still trips.
-						if w > maxLaunchCycles+2 {
-							w = maxLaunchCycles + 2
-						}
-						s.AdvanceTo(w)
-						c = w
-					}
-				}
-			}
-			if c < minNext {
-				minNext = c
-			}
-		}
-		if !busy {
-			if next >= nb {
-				break
-			}
-			return nil, fmt.Errorf("sim: kernel %s wedged with %d blocks undispatched", l.Program.Name, nb-next)
-		}
-		guard++
-		// When every busy SM is parked in the future, jump the device
-		// cycle straight to the earliest of their wakeups — capped at the
-		// next residency-sampling boundary so no sample is skipped.
-		// Dispatch needs no extra cap: a parked SM's occupancy is frozen
-		// (reaps happen only in ticks), so no pending block could have
-		// dispatched during the jumped span.
-		if d.fastForward && minNext > guard {
-			target := minNext
-			if sampleResidency {
-				if b := (guard + residencySampleCycles - 1) / residencySampleCycles * residencySampleCycles; b < target {
-					target = b
-				}
-			}
-			if target > guard {
-				guard = target
-			}
-		}
-		if guard > maxLaunchCycles {
-			return nil, fmt.Errorf("sim: kernel %s exceeded %d cycles (non-terminating?)", l.Program.Name, uint64(maxLaunchCycles))
-		}
+	if err != nil {
+		return nil, err
 	}
 
 	res := &RunResult{Kernel: l.Program.Name, Blocks: nb, PerSM: make([]sm.Counters, len(d.SMs))}
@@ -499,10 +390,10 @@ func (d *Device) LaunchCtx(ctx context.Context, l *kernel.Launch) (*RunResult, e
 		if c := s.Cycle(); c > res.Cycles {
 			res.Cycles = c
 		}
-		delta := s.Counters().Sub(&before[i])
+		delta := s.Counters().Sub(&d.launchBefore[i])
 		res.PerSM[i] = delta
 		res.Counters.Add(&delta)
-		if used[i] {
+		if d.launchUsed[i] {
 			res.SMsUsed++
 		}
 	}
@@ -555,6 +446,196 @@ func (d *Device) LaunchCtx(ctx context.Context, l *kernel.Launch) (*RunResult, e
 	return res, nil
 }
 
+// neverRejected marks an SM the dispatcher has not yet seen reject a block.
+const neverRejected = ^uint64(0)
+
+// launchPrologue readies the device for one launch: it materialises the
+// launch parameters in the constant bank (invalidating the per-SM constant
+// caches, as the driver's upload does), carves the per-launch local-memory
+// backing, resets SM clocks, snapshots pre-launch counters and arms tracing.
+// It returns the storage mark the caller must Release when the kernel
+// finishes. All per-launch slices live on the Device and are reused, so the
+// prologue performs no heap allocation (see BenchmarkLaunchPrologue).
+func (d *Device) launchPrologue(l *kernel.Launch) (markMem uint64, err error) {
+	for i, p := range l.Params {
+		d.Const.Write(kernel.ParamOffset(i), p, 8)
+	}
+	for _, s := range d.SMs {
+		s.FlushIMC()
+	}
+
+	markMem = d.Storage.Mark()
+	var localBase uint64
+	totalThreads := l.TotalThreads()
+	if l.Program.LocalBytes > 0 {
+		localBase = d.Storage.Alloc(l.Program.LocalBytes * totalThreads)
+	}
+
+	for i, s := range d.SMs {
+		if s.Busy() {
+			d.Storage.Release(markMem)
+			return 0, fmt.Errorf("sim: SM %d busy at launch of %s", i, l.Program.Name)
+		}
+		s.ResetClock()
+		s.SetLaunchContext(localBase, totalThreads)
+		d.launchBefore[i] = s.Counters()
+		if d.traceInterval > 0 {
+			s.EnableTrace(d.traceInterval)
+		} else {
+			s.DisableTrace()
+		}
+		d.launchUsed[i] = false
+		// Dispatch dirty flags: the residency version at which each SM last
+		// rejected a block. CanAccept is a pure function of occupancy, so
+		// until the version moves the SM would keep rejecting — skip
+		// re-probing it.
+		d.launchRejected[i] = neverRejected
+	}
+	d.Mem.ResetDRAM()
+	return markMem, nil
+}
+
+// dispatchBlocks greedily places pending blocks, round-robin across SMs for
+// balance, advancing *next past every block that found a home.
+func (d *Device) dispatchBlocks(l *kernel.Launch, nb int, next *int, guard uint64, blockDetail bool) {
+	progress := true
+	for progress && *next < nb {
+		progress = false
+		for i, s := range d.SMs {
+			if *next >= nb {
+				break
+			}
+			if d.launchRejected[i] == s.ResidencyVersion() {
+				continue // occupancy unchanged since last rejection
+			}
+			if s.CanAccept(l) {
+				s.LaunchBlock(l, ctaidOf(*next, l.Grid), *next)
+				if blockDetail {
+					d.tracer.Instant(obs.PIDSim, i, "dispatch", "block",
+						d.simCursorUS+obs.CyclesToUS(guard, d.Spec.ClockMHz),
+						map[string]any{"block": *next, "sm": i})
+				}
+				d.launchUsed[i] = true
+				*next++
+				progress = true
+			} else {
+				d.launchRejected[i] = s.ResidencyVersion()
+			}
+		}
+	}
+}
+
+// sampleResidencyTrack emits per-SM block-residency samples onto the trace's
+// simulated-time track.
+func (d *Device) sampleResidencyTrack(guard uint64) {
+	ts := d.simCursorUS + obs.CyclesToUS(guard, d.Spec.ClockMHz)
+	for i, s := range d.SMs {
+		d.tracer.CounterValue(obs.PIDSim, i, d.smTracks[i], "blocks",
+			ts, float64(s.ResidentBlocks()))
+	}
+}
+
+// runLoop is the sequential simulation loop: one goroutine ticks every SM in
+// id order, applying shared-memory traffic inline.
+func (d *Device) runLoop(ctx context.Context, done <-chan struct{}, l *kernel.Launch, nb int) error {
+	next := 0
+	var guard uint64
+	blockDetail := d.tracer.BlockDetail()
+	// Residency samples ride the trace's simulated-time track; emit them
+	// only when tracing is actually enabled, not merely when a tracer is
+	// attached.
+	sampleResidency := d.tracer != nil && d.traceInterval > 0
+
+	var loopIters uint64
+	for {
+		if done != nil {
+			if loopIters%ctxCheckInterval == 0 {
+				select {
+				case <-done:
+					// Leave the device reusable: the aborted kernel's blocks
+					// are still resident, so rebuild the SMs to idle.
+					d.ResetSMs()
+					return fmt.Errorf("sim: kernel %s cancelled after %d cycles: %w",
+						l.Program.Name, guard, ctx.Err())
+				default:
+				}
+			}
+			loopIters++
+		}
+
+		d.dispatchBlocks(l, nb, &next, guard, blockDetail)
+
+		if sampleResidency && guard%residencySampleCycles == 0 {
+			d.sampleResidencyTrack(guard)
+		}
+
+		// Tick every busy SM whose clock has caught up with the device
+		// cycle. Under fast-forward, an SM whose tick came back quiescent
+		// (NextWakeup past its clock) is parked: its idle span is
+		// bulk-accounted immediately and the SM is left with its clock in
+		// the future, to be ticked again only when guard reaches it. This
+		// is safe out of lockstep because a quiescent tick mutates neither
+		// the SM nor the shared L2/DRAM — the naive loop's interleaving
+		// performs the same shared-state mutation sequence. minNext tracks
+		// the earliest cycle at which any busy SM must tick again.
+		busy := false
+		minNext := ^uint64(0)
+		for _, s := range d.SMs {
+			if !s.Busy() {
+				continue
+			}
+			busy = true
+			c := s.Cycle()
+			if c <= guard {
+				s.Tick()
+				d.lastTicks++
+				c = s.Cycle()
+				if d.fastForward {
+					if w := s.NextWakeup(); w > c {
+						// Cap runaway bounds (a deadlocked SM reports
+						// neverWake) so the cycle guard below still trips.
+						if w > maxLaunchCycles+2 {
+							w = maxLaunchCycles + 2
+						}
+						s.AdvanceTo(w)
+						c = w
+					}
+				}
+			}
+			if c < minNext {
+				minNext = c
+			}
+		}
+		if !busy {
+			if next >= nb {
+				return nil
+			}
+			return fmt.Errorf("sim: kernel %s wedged with %d blocks undispatched", l.Program.Name, nb-next)
+		}
+		guard++
+		// When every busy SM is parked in the future, jump the device
+		// cycle straight to the earliest of their wakeups — capped at the
+		// next residency-sampling boundary so no sample is skipped.
+		// Dispatch needs no extra cap: a parked SM's occupancy is frozen
+		// (reaps happen only in ticks), so no pending block could have
+		// dispatched during the jumped span.
+		if d.fastForward && minNext > guard {
+			target := minNext
+			if sampleResidency {
+				if b := (guard + residencySampleCycles - 1) / residencySampleCycles * residencySampleCycles; b < target {
+					target = b
+				}
+			}
+			if target > guard {
+				guard = target
+			}
+		}
+		if guard > maxLaunchCycles {
+			return fmt.Errorf("sim: kernel %s exceeded %d cycles (non-terminating?)", l.Program.Name, uint64(maxLaunchCycles))
+		}
+	}
+}
+
 // ResetSMs rebuilds every SM from scratch — idle, cycle zero, cold caches,
 // zeroed counters — and resets the shared L2 and DRAM. Global and constant
 // memory are preserved. This is the recovery path after a kernel panicked or
@@ -564,11 +645,11 @@ func (d *Device) LaunchCtx(ctx context.Context, l *kernel.Launch) (*RunResult, e
 // application's remaining kernels.
 func (d *Device) ResetSMs() {
 	for i := range d.SMs {
-		d.SMs[i] = sm.New(d.Spec, i, d.L2, d.DRAM, d.Storage, d.Const)
+		d.SMs[i] = sm.New(d.Spec, i, d.Mem, d.Storage, d.Const)
 		d.SMs[i].SetAdaptiveFF(d.adaptiveFF)
 	}
-	d.L2.Flush()
-	d.DRAM.Reset()
+	d.Mem.FlushL2()
+	d.Mem.ResetDRAM()
 }
 
 // MustLaunch is Launch that panics on error, for tests and examples.

@@ -109,10 +109,10 @@ func TestFuzzDeterminism(t *testing.T) {
 	}
 }
 
-// TestFuzzEngineEquivalence diffs the naive and fast-forward engines on
-// randomly generated kernels: full RunResults (cycles, counters, per-SM
-// deltas, trace samples) must be bit-identical, with tracing both off and
-// on an interval chosen to land samples mid-skip.
+// TestFuzzEngineEquivalence diffs the naive, fast-forward, and parallel
+// engines on randomly generated kernels: full RunResults (cycles, counters,
+// per-SM deltas, trace samples) must be bit-identical three ways, with
+// tracing both off and on an interval chosen to land samples mid-skip.
 func TestFuzzEngineEquivalence(t *testing.T) {
 	const bufN = 1024
 	for trial := 0; trial < 16; trial++ {
@@ -122,9 +122,10 @@ func TestFuzzEngineEquivalence(t *testing.T) {
 		if trial%2 == 1 {
 			traceInterval = 32
 		}
-		run := func(fastForward bool) *RunResult {
+		run := func(fastForward bool, workers int) *RunResult {
 			d := NewDevice(testSpec())
 			d.SetFastForward(fastForward)
+			d.SetSimWorkers(workers)
 			if traceInterval > 0 {
 				d.EnableTrace(traceInterval)
 			}
@@ -143,11 +144,23 @@ func TestFuzzEngineEquivalence(t *testing.T) {
 			}
 			return d.MustLaunch(l)
 		}
-		naive := run(false)
-		ff := run(true)
+		naive := run(false, 1)
+		ff := run(true, 1)
 		if !reflect.DeepEqual(naive, ff) {
-			t.Fatalf("seed %d (trace=%d): engines diverge\nnaive: cycles=%d %+v\nff:    cycles=%d %+v",
+			t.Fatalf("seed %d (trace=%d): naive/ff diverge\nnaive: cycles=%d %+v\nff:    cycles=%d %+v",
 				seed, traceInterval, naive.Cycles, naive.Counters, ff.Cycles, ff.Counters)
+		}
+		par := run(true, 4)
+		if !reflect.DeepEqual(naive, par) {
+			t.Fatalf("seed %d (trace=%d): naive/parallel diverge\nnaive: cycles=%d %+v\npar:   cycles=%d %+v",
+				seed, traceInterval, naive.Cycles, naive.Counters, par.Cycles, par.Counters)
+		}
+		// Parallel must also match with fast-forward off: every epoch ticks
+		// every busy SM, so phase interleaving gets maximum coverage.
+		parSlow := run(false, 4)
+		if !reflect.DeepEqual(naive, parSlow) {
+			t.Fatalf("seed %d (trace=%d): naive/parallel-noff diverge\nnaive: cycles=%d %+v\npar:   cycles=%d %+v",
+				seed, traceInterval, naive.Cycles, naive.Counters, parSlow.Cycles, parSlow.Counters)
 		}
 	}
 }

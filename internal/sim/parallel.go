@@ -1,0 +1,383 @@
+// Parallel intra-launch engine: a bounded worker pool ticks the SMs of one
+// launch in epoch-lockstep, with the shared memory system partitioned into
+// address-sliced L2 banks and per-slice DRAM channels so that every shared
+// structure has exactly one writer per phase.
+//
+// Each device cycle window ("epoch") runs three barrier-separated phases:
+//
+//	A  compute   — due SMs tick in parallel (sharded by SM index). Shared
+//	              memory instructions are buffered into per-SM mailboxes
+//	              (sm.SM deferred mode); everything SM-private applies inline.
+//	B  memory    — L2 slices drain in parallel (sharded by slice index). A
+//	              slice's owner walks every due SM in id order and services
+//	              only the sectors/lanes owned by its slice, reproducing the
+//	              sequential engine's per-structure access order exactly.
+//	C  finalize  — due SMs finalize in parallel: mailbox completions apply to
+//	              scoreboards/queues, per-slice stats merge, trace samples
+//	              emit, and quiescent SMs fast-forward to their wakeup bound.
+//
+// The master then runs the serial epoch tail (dispatch, residency sampling,
+// guard advance, termination) exactly as the sequential loop does. See
+// DESIGN.md §13 for the determinism argument.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/sm"
+)
+
+// minParallelDue is the due-SM count below which an epoch runs inline on the
+// master: with one or two SMs to tick, barrier crossings cost more than the
+// work they would distribute.
+const minParallelDue = 3
+
+// spinBarrier is a sense-reversing central barrier for the intra-epoch phase
+// crossings. Participants arrive microseconds apart at worst, so spinning
+// (with a Gosched every few iterations to stay scheduler-friendly) beats a
+// futex sleep; the epoch-entry gate (epochPool.await) is the one that parks.
+type spinBarrier struct {
+	count atomic.Int32
+	gen   atomic.Uint32
+}
+
+func (b *spinBarrier) arrive(n int32) {
+	g := b.gen.Load()
+	if b.count.Add(1) == n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for spins := 0; b.gen.Load() == g; spins++ {
+		if spins&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// padCell is a cache-line-padded uint64, one per participant, so the phase-C
+// minimum-cycle folds don't false-share.
+type padCell struct {
+	v uint64
+	_ [56]byte
+}
+
+// epochPool runs the three phases of each epoch across workers+1 goroutines
+// (the launch goroutine acts as the last participant). Workers park on a
+// condition variable between epochs — launches can be thousands of epochs
+// apart from their next due work only in pathological kernels, but replay
+// passes also leave the pool idle between launches.
+type epochPool struct {
+	d     *Device
+	procs int // total participants, including the master
+
+	// Epoch gate: master publishes (due, ff) then bumps seq; workers spin
+	// briefly and then sleep on cond.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	seq      atomic.Uint64
+	sleepers int
+	stop     atomic.Bool
+	wg       sync.WaitGroup
+
+	due []*sm.SM
+	ff  bool
+
+	bar  spinBarrier
+	minC []padCell
+
+	// First panic from any phase, rethrown on the master after the epoch's
+	// final barrier (workers recover, skip remaining work, and keep crossing
+	// barriers so nobody deadlocks).
+	panicked atomic.Bool
+	panicMu  sync.Mutex
+	panicVal any
+}
+
+func newEpochPool(d *Device, procs int) *epochPool {
+	p := &epochPool{d: d, procs: procs, minC: make([]padCell, procs)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(procs - 1)
+	for w := 0; w < procs-1; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// shutdown releases and joins the workers. Must be called with no epoch in
+// flight (every participant back at the gate).
+func (p *epochPool) shutdown() {
+	p.mu.Lock()
+	p.stop.Store(true)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *epochPool) worker(id int) {
+	defer p.wg.Done()
+	var last uint64
+	for p.await(&last) {
+		p.participate(id)
+	}
+}
+
+// await blocks until the next epoch is published (returning true) or the
+// pool is shut down (false). It spins briefly — consecutive epochs are
+// usually back-to-back — then parks on the condition variable.
+func (p *epochPool) await(last *uint64) bool {
+	for spins := 0; ; spins++ {
+		if p.stop.Load() {
+			return false
+		}
+		if s := p.seq.Load(); s != *last {
+			*last = s
+			return true
+		}
+		if spins < 4096 {
+			runtime.Gosched()
+			continue
+		}
+		p.mu.Lock()
+		for !p.stop.Load() && p.seq.Load() == *last {
+			p.sleepers++
+			p.cond.Wait()
+			p.sleepers--
+		}
+		p.mu.Unlock()
+		spins = 0
+	}
+}
+
+// runEpoch executes one A/B/C epoch over the published due set and returns
+// the minimum post-advance cycle across due SMs. Caller is the master.
+func (p *epochPool) runEpoch(due []*sm.SM, ff bool) uint64 {
+	p.due, p.ff = due, ff
+	p.seq.Add(1)
+	p.mu.Lock()
+	if p.sleepers > 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+
+	p.participate(p.procs - 1)
+
+	if p.panicked.Load() {
+		p.panicked.Store(false)
+		panic(p.panicVal)
+	}
+	minC := ^uint64(0)
+	for i := range p.minC {
+		if c := p.minC[i].v; c < minC {
+			minC = c
+		}
+	}
+	return minC
+}
+
+// participate runs one participant's share of the epoch's three phases.
+func (p *epochPool) participate(id int) {
+	n := int32(p.procs)
+
+	// Phase A: compute. Tick due SMs sharded by index.
+	p.safely(func() {
+		for i := id; i < len(p.due); i += p.procs {
+			p.due[i].Tick()
+		}
+	})
+	p.bar.arrive(n)
+
+	// Phase B: memory. Drain L2 slices sharded by slice index; within a
+	// slice, SMs drain in id order (due is id-ordered), preserving the
+	// sequential engine's per-structure access order.
+	p.safely(func() {
+		for slice := id; slice < p.d.Mem.NumSlices(); slice += p.procs {
+			for _, s := range p.due {
+				s.DrainSlice(slice)
+			}
+		}
+	})
+	p.bar.arrive(n)
+
+	// Phase C: finalize + per-SM fast-forward, sharded by SM index.
+	p.safely(func() {
+		minC := ^uint64(0)
+		for i := id; i < len(p.due); i += p.procs {
+			c := finalizeAndAdvance(p.due[i], p.ff)
+			if c < minC {
+				minC = c
+			}
+		}
+		p.minC[id].v = minC
+	})
+	p.bar.arrive(n)
+}
+
+// safely runs one phase share, capturing the first panic for the master to
+// rethrow after the epoch completes. Once a panic is recorded the remaining
+// phases become no-ops — the epoch's state is already unrecoverable, the
+// barriers just need every participant to keep arriving.
+func (p *epochPool) safely(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if !p.panicked.Load() {
+				p.panicVal = r
+				p.panicked.Store(true)
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	if p.panicked.Load() {
+		return
+	}
+	f()
+}
+
+// finalizeAndAdvance applies an SM's epoch mailbox and then fast-forwards it
+// exactly as the sequential loop would after its inline tick. Returns the
+// SM's post-advance cycle.
+func finalizeAndAdvance(s *sm.SM, ff bool) uint64 {
+	s.FinalizeEpoch()
+	c := s.Cycle()
+	if ff {
+		if w := s.NextWakeup(); w > c {
+			if w > maxLaunchCycles+2 {
+				w = maxLaunchCycles + 2
+			}
+			s.AdvanceTo(w)
+			c = w
+		}
+	}
+	return c
+}
+
+// runEpochInline is the small-due fallback: the identical phase A → B → C
+// sequence on the master alone, with no barrier crossings.
+func (d *Device) runEpochInline(due []*sm.SM) uint64 {
+	for _, s := range due {
+		s.Tick()
+	}
+	for slice := 0; slice < d.Mem.NumSlices(); slice++ {
+		for _, s := range due {
+			s.DrainSlice(slice)
+		}
+	}
+	minC := ^uint64(0)
+	for _, s := range due {
+		if c := finalizeAndAdvance(s, d.fastForward); c < minC {
+			minC = c
+		}
+	}
+	return minC
+}
+
+// runLoopParallel is the parallel counterpart of runLoop: identical epoch
+// structure and serial tail, with the tick/drain/finalize work of each epoch
+// sharded across the pool. Bit-identical to runLoop by construction (see the
+// package comment and DESIGN.md §13).
+func (d *Device) runLoopParallel(ctx context.Context, done <-chan struct{}, l *kernel.Launch, nb int) error {
+	procs := d.simWorkers
+	if n := len(d.SMs); procs > n {
+		procs = n
+	}
+	for _, s := range d.SMs {
+		s.SetDeferred(true)
+	}
+	defer func() {
+		for _, s := range d.SMs {
+			s.SetDeferred(false)
+		}
+	}()
+	pool := newEpochPool(d, procs)
+	defer pool.shutdown()
+
+	next := 0
+	var guard uint64
+	blockDetail := d.tracer.BlockDetail()
+	sampleResidency := d.tracer != nil && d.traceInterval > 0
+
+	var loopIters uint64
+	for {
+		if done != nil {
+			if loopIters%ctxCheckInterval == 0 {
+				select {
+				case <-done:
+					// Mid-launch state is unrecoverable (resident blocks will
+					// never retire); rebuild the SMs to idle. The cancel check
+					// sits between epochs, so every mailbox is empty here.
+					d.ResetSMs()
+					return fmt.Errorf("sim: kernel %s cancelled after %d cycles: %w",
+						l.Program.Name, guard, ctx.Err())
+				default:
+				}
+			}
+			loopIters++
+		}
+
+		d.dispatchBlocks(l, nb, &next, guard, blockDetail)
+
+		if sampleResidency && guard%residencySampleCycles == 0 {
+			d.sampleResidencyTrack(guard)
+		}
+
+		// Scan: split the busy SMs into due (clock caught up with the device
+		// cycle — they tick this epoch) and parked (fast-forwarded into the
+		// future — they only contribute their wakeup to minNext).
+		busy := false
+		minNext := ^uint64(0)
+		due := d.dueScratch[:0]
+		for _, s := range d.SMs {
+			if !s.Busy() {
+				continue
+			}
+			busy = true
+			if c := s.Cycle(); c <= guard {
+				due = append(due, s)
+			} else if c < minNext {
+				minNext = c
+			}
+		}
+		d.dueScratch = due // keep the (possibly re-grown) backing
+		if !busy {
+			if next >= nb {
+				return nil
+			}
+			return fmt.Errorf("sim: kernel %s wedged with %d blocks undispatched", l.Program.Name, nb-next)
+		}
+
+		if len(due) > 0 {
+			var m uint64
+			if len(due) < minParallelDue {
+				m = d.runEpochInline(due)
+			} else {
+				m = pool.runEpoch(due, d.fastForward)
+			}
+			if m < minNext {
+				minNext = m
+			}
+			d.lastTicks += uint64(len(due))
+		}
+
+		guard++
+		if d.fastForward && minNext > guard {
+			target := minNext
+			if sampleResidency {
+				if b := (guard + residencySampleCycles - 1) / residencySampleCycles * residencySampleCycles; b < target {
+					target = b
+				}
+			}
+			if target > guard {
+				guard = target
+			}
+		}
+		if guard > maxLaunchCycles {
+			return fmt.Errorf("sim: kernel %s exceeded %d cycles (non-terminating?)", l.Program.Name, uint64(maxLaunchCycles))
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"gputopdown/internal/kernel"
+	"gputopdown/internal/obs"
+)
+
+// TestSimWorkersClamp pins the device-level clamp: never below 1, never
+// above maxSimWorkers, and Clone carries the setting over.
+func TestSimWorkersClamp(t *testing.T) {
+	d := NewDevice(testSpec())
+	if d.SimWorkers() != 1 {
+		t.Errorf("default SimWorkers = %d, want 1", d.SimWorkers())
+	}
+	d.SetSimWorkers(0)
+	if d.SimWorkers() != 1 {
+		t.Errorf("SetSimWorkers(0) -> %d, want clamp to 1", d.SimWorkers())
+	}
+	d.SetSimWorkers(-7)
+	if d.SimWorkers() != 1 {
+		t.Errorf("SetSimWorkers(-7) -> %d, want clamp to 1", d.SimWorkers())
+	}
+	d.SetSimWorkers(1 << 20)
+	if d.SimWorkers() != maxSimWorkers {
+		t.Errorf("SetSimWorkers(1<<20) -> %d, want clamp to %d", d.SimWorkers(), maxSimWorkers)
+	}
+	d.SetSimWorkers(4)
+	if c := d.Clone(); c.SimWorkers() != 4 {
+		t.Errorf("Clone dropped SimWorkers: %d, want 4", c.SimWorkers())
+	}
+}
+
+// TestParallelEngineBasic runs the same launches sequentially and in
+// parallel — including with more workers than SMs — and demands identical
+// RunResults and correct memory contents.
+func TestParallelEngineBasic(t *testing.T) {
+	run := func(workers int) (*RunResult, []float32) {
+		d := NewDevice(testSpec())
+		d.SetSimWorkers(workers)
+		l := saxpyLaunch(d, 4096)
+		res := d.MustLaunch(l)
+		return res, d.Storage.ReadF32Slice(l.Params[1], 4096)
+	}
+	seqRes, seqOut := run(1)
+	for _, w := range []int{2, 4, 64} {
+		parRes, parOut := run(w)
+		if !reflect.DeepEqual(seqRes, parRes) {
+			t.Errorf("workers=%d: RunResult diverges from sequential", w)
+		}
+		if !reflect.DeepEqual(seqOut, parOut) {
+			t.Errorf("workers=%d: memory contents diverge from sequential", w)
+		}
+	}
+}
+
+// TestParallelEngineMemBound repeats the identity check on the serialized
+// DRAM-latency chain kernel, whose long idle spans exercise the parallel
+// engine's composed per-SM fast-forward, with and without shared memory.
+func TestParallelEngineMemBound(t *testing.T) {
+	for _, shared := range []int{0, 4096} {
+		run := func(workers int) *RunResult {
+			d := NewDevice(testSpec())
+			d.SetSimWorkers(workers)
+			return d.MustLaunch(memBoundLaunch(d, 32, shared))
+		}
+		seq := run(1)
+		par := run(4)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("shared=%d: parallel RunResult diverges from sequential", shared)
+		}
+	}
+}
+
+// TestParallelLaunchCtxCancel: cancellation must work identically under the
+// parallel engine — the launch returns context.Canceled promptly, the worker
+// pool shuts down, and the device is reusable.
+func TestParallelLaunchCtxCancel(t *testing.T) {
+	d := NewDevice(testSpec())
+	d.SetSimWorkers(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := d.LaunchCtx(ctx, &kernel.Launch{
+			Program: buildSpin(1 << 40),
+			Grid:    kernel.Dim3{X: 4},
+			Block:   kernel.Dim3{X: 128},
+		})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled parallel launch = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled parallel launch did not return promptly")
+	}
+	for i, s := range d.SMs {
+		if s.Busy() {
+			t.Fatalf("SM %d still busy after cancelled parallel launch", i)
+		}
+	}
+	if res := d.MustLaunch(saxpyLaunch(d, 1024)); res.Cycles == 0 {
+		t.Error("post-cancellation parallel launch produced no cycles")
+	}
+}
+
+// TestSetObserverNilRegistry is the regression test for the nil-registry
+// path: a tracer-only observer must work exactly like the tracer-plus-
+// registry configuration minus the metrics, a registry-only observer must
+// count launches, and a nil/nil call must detach both without breaking
+// subsequent launches.
+func TestSetObserverNilRegistry(t *testing.T) {
+	d := NewDevice(testSpec())
+	l := saxpyLaunch(d, 1024)
+
+	// Tracer only: spans recorded, no metric handles, no panic.
+	tr := obs.NewTracer()
+	d.SetObserver(tr, nil)
+	d.MustLaunch(l)
+	var spans int
+	for _, e := range tr.Events() {
+		if e.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Error("tracer-only observer recorded no spans")
+	}
+
+	// Registry only: launches counted, previous tracer fully detached.
+	reg := obs.NewRegistry()
+	d.SetObserver(nil, reg)
+	before := len(tr.Events())
+	d.MustLaunch(l)
+	if got := len(tr.Events()); got != before {
+		t.Errorf("detached tracer still accumulated events: %d -> %d", before, got)
+	}
+	if got := reg.Counter("sim_launches_total", "", nil).Value(); got != 1 {
+		t.Errorf("sim_launches_total = %v, want 1", got)
+	}
+
+	// Detach both: launches keep working, counters freeze.
+	d.SetObserver(nil, nil)
+	d.MustLaunch(l)
+	if got := reg.Counter("sim_launches_total", "", nil).Value(); got != 1 {
+		t.Errorf("detached registry still counting: %v", got)
+	}
+}
+
+// TestLaunchPrologueAllocFree gates the reusable-scratch prologue: once a
+// device has run a launch, readying it for the next one (constant-bank
+// params, IMC flush, local-memory carve-out, per-SM reset and counter
+// snapshots) must allocate nothing.
+func TestLaunchPrologueAllocFree(t *testing.T) {
+	d := NewDevice(testSpec())
+	l := saxpyLaunch(d, 1024)
+	d.MustLaunch(l) // size every reusable buffer
+	allocs := testing.AllocsPerRun(50, func() {
+		markMem, err := d.launchPrologue(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Storage.Release(markMem)
+	})
+	if allocs != 0 {
+		t.Errorf("launch prologue allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkLaunchPrologue measures the per-launch fixed cost in isolation;
+// its allocs/op column is the number the alloc-free gate pins at zero.
+func BenchmarkLaunchPrologue(b *testing.B) {
+	d := NewDevice(testSpec())
+	l := saxpyLaunch(d, 1024)
+	d.MustLaunch(l)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		markMem, err := d.launchPrologue(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Storage.Release(markMem)
+	}
+}
+
+// BenchmarkLaunchParallel measures a full launch under the parallel engine
+// (4 workers) on the memory-bound chain kernel, the shape `make
+// bench-parallel` compares against BenchmarkLaunchFastForward.
+func BenchmarkLaunchParallel(b *testing.B) {
+	d := NewDevice(testSpec())
+	d.SetSimWorkers(4)
+	l := memBoundLaunch(d, 32, 0)
+	d.MustLaunch(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Launch(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

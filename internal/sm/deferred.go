@@ -1,0 +1,356 @@
+package sm
+
+import (
+	"fmt"
+
+	"gputopdown/internal/isa"
+	"gputopdown/internal/mem"
+)
+
+// Deferred-memory (two-phase tick) support for the parallel intra-launch
+// engine.
+//
+// The sequential engine interleaves every SM's shared-memory traffic in a
+// single global order: (guard iteration, SM id, issue order within the tick,
+// sector/lane order within the instruction). The parallel engine reproduces
+// that order per shared structure without running SMs in sequence:
+//
+//   Phase A (parallel over SMs): Tick runs with s.deferred set. Every
+//     global/local/texture/atomic memory instruction records a memReq in the
+//     SM's epoch mailbox instead of touching the shared L2 slices, DRAM
+//     channels or device Storage. Everything SM-private — L1 filtering,
+//     instruction/replay accounting, pipe and dispatch occupancy, the posted
+//     half of stores — still happens inline, so Tick's control flow (and the
+//     fast-forward bound it computes) is unchanged.
+//
+//   Phase B (parallel over L2 slices): each slice's owner worker calls
+//     DrainSlice(slice) on every SM in id order. The drain walks the mailbox
+//     in issue order and processes only the sectors and lanes that map to its
+//     slice: L2 slice accesses, DRAM channel requests, and the functional
+//     Storage reads/writes/RMWs. Because any two accesses to the same address
+//     share a slice, every per-structure access sequence equals the
+//     sequential engine's — same order, same cycle stamps — so cache state,
+//     channel backpressure and functional memory evolve bit-identically.
+//     Per-slice L2 hit/miss deltas land in s.defStats[slice] (one cell per
+//     slice, no cross-worker sharing).
+//
+//   Phase C (parallel over SMs): FinalizeEpoch applies each request's
+//     completion back to the issuing warp (register scoreboard, store drain
+//     lists, memory queues), merges the per-slice stat deltas, and takes any
+//     trace sample the tick owed. Only then may the engine fast-forward the
+//     SM, exactly as the sequential loop advances after a tick.
+//
+// Lane routing assumes naturally aligned accesses (the ISA's 4- and 8-byte
+// ops at their natural alignment), so no access straddles a cache line and
+// every lane belongs to exactly one slice.
+
+// memReq kinds.
+const (
+	reqLoad   uint8 = iota + 1 // LDG / LDL
+	reqStore                   // STG / STL
+	reqAtomic                  // ATOM / RED
+	reqTex                     // TEX
+)
+
+// memReq is one deferred memory instruction in the epoch mailbox.
+type memReq struct {
+	kind  uint8
+	pmask uint32
+	in    *isa.Instr
+	w     *warp
+	sp    *subpart
+	now   uint64 // SM cycle at issue
+	base  uint64 // phase-A completion floor (L1/L2/TEX latency)
+
+	ops        int // atomic: active lane-operations
+	contention int // atomic: max same-address lanes
+
+	addrs     [32]uint64 // per-lane effective addresses (active lanes only)
+	laneSlice [32]uint8  // owning L2 slice per active lane
+
+	// Sectors needing shared-memory service (for loads/tex: L1 misses only),
+	// the slice owning each, and the completion cycle phase B writes back.
+	// Each sectorDone entry is written by exactly one slice worker.
+	sectors     []uint64
+	sectorSlice []uint8
+	sectorDone  []uint64
+}
+
+// SetDeferred switches the SM between inline (sequential engine) and
+// mailbox (parallel engine) servicing of shared-memory instructions.
+// Enabling with requests pending is a driver bug (they would replay);
+// disabling drops any pending requests — the teardown path after a failed
+// launch runs during panic unwinding, where the mailbox is already garbage.
+func (s *SM) SetDeferred(on bool) {
+	if on && len(s.reqs) > 0 {
+		panic(fmt.Sprintf("sm %d: SetDeferred with %d requests pending", s.id, len(s.reqs)))
+	}
+	if !on {
+		for i := range s.reqs {
+			s.reqs[i].in, s.reqs[i].w, s.reqs[i].sp = nil, nil, nil
+		}
+		s.reqs = s.reqs[:0]
+		s.pendingSample = false
+	}
+	s.deferred = on
+}
+
+// newReq appends a mailbox entry, recycling the sector backings of the slot's
+// previous occupant (the mailbox is truncated, never freed, between epochs).
+func (s *SM) newReq() *memReq {
+	n := len(s.reqs)
+	if n < cap(s.reqs) {
+		s.reqs = s.reqs[:n+1]
+	} else {
+		s.reqs = append(s.reqs, memReq{})
+	}
+	r := &s.reqs[n]
+	r.sectors = r.sectors[:0]
+	r.sectorSlice = r.sectorSlice[:0]
+	r.sectorDone = r.sectorDone[:0]
+	return r
+}
+
+// recordLanes captures the active lanes' addresses and owning slices.
+func (s *SM) recordLanes(r *memReq, addrs *[32]uint64, pmask uint32) {
+	for lane := 0; lane < 32; lane++ {
+		if pmask&(1<<lane) != 0 {
+			r.addrs[lane] = addrs[lane]
+			r.laneSlice[lane] = uint8(s.ms.SliceOf(addrs[lane]))
+		}
+	}
+}
+
+// recordSector queues one sector for phase-B service.
+func (s *SM) recordSector(r *memReq, sec uint64) {
+	r.sectors = append(r.sectors, sec)
+	r.sectorSlice = append(r.sectorSlice, uint8(s.ms.SliceOf(sec)))
+	r.sectorDone = append(r.sectorDone, 0)
+}
+
+// deferGlobal is the phase-A half of execMemory's global/local/atomic/texture
+// cases: it performs every SM-private side effect the sequential path would
+// (L1 filtering, instruction statistics, the posted half of stores) and
+// buffers the shared-memory half into the mailbox. The returned
+// (extraIssues, pipeBusy) replay accounting depends only on sector and lane
+// counts, so it is exact before the shared system is consulted.
+func (s *SM) deferGlobal(sp *subpart, w *warp, in *isa.Instr, pmask uint32, now uint64, addrs *[32]uint64, sectors []uint64) (int, uint64) {
+	spec := s.spec
+	n := len(sectors)
+
+	switch in.Op {
+	case isa.OpLDG, isa.OpLDL:
+		s.dp.BeginDeferredLoad(n)
+		r := s.newReq()
+		r.kind, r.in, r.w, r.sp = reqLoad, in, w, sp
+		r.now, r.pmask = now, pmask
+		r.base = now + uint64(spec.L1Latency)
+		for _, sec := range sectors {
+			if s.dp.L1LoadSector(sec) {
+				continue // hit completes at the L1 floor; nothing to defer
+			}
+			s.recordSector(r, sec)
+		}
+		s.recordLanes(r, addrs, pmask)
+		return max0(n-1) / 4, uint64(max1(n / 2))
+
+	case isa.OpSTG, isa.OpSTL:
+		// Stores are posted: the warp-visible completion and the MEMBAR
+		// visibility horizon are pure latency terms, applied here so the
+		// in-tick bookkeeping (drain lists, fences, queue occupancy) matches
+		// the sequential engine cycle for cycle. Only the L2/DRAM traffic and
+		// the functional writes wait for phase B.
+		s.dp.BeginDeferredStore(n)
+		posted := now + uint64(spec.L1Latency) + uint64(n)
+		visible := now + uint64(spec.L2Latency)
+		w.storesPending = append(w.storesPending, posted)
+		w.fenceUntil = maxU64(w.fenceUntil, visible)
+		sp.lgQueue.Push(posted)
+		r := s.newReq()
+		r.kind, r.in, r.w, r.sp = reqStore, in, w, sp
+		r.now, r.pmask = now, pmask
+		for _, sec := range sectors {
+			s.recordSector(r, sec)
+		}
+		s.recordLanes(r, addrs, pmask)
+		return max0(n-1) / 4, uint64(max1(n / 2))
+
+	case isa.OpATOM, isa.OpRED:
+		ops := int(popcount(pmask))
+		contention := mem.MaxContention(addrs, pmask)
+		s.dp.BeginDeferredAtomic(ops)
+		r := s.newReq()
+		r.kind, r.in, r.w, r.sp = reqAtomic, in, w, sp
+		r.now, r.pmask = now, pmask
+		r.base = now + uint64(spec.L2Latency)
+		r.ops, r.contention = ops, contention
+		for _, sec := range sectors {
+			s.recordSector(r, sec)
+		}
+		s.recordLanes(r, addrs, pmask)
+		return max0(ops-1) / 4, uint64(max1(ops / 2))
+
+	case isa.OpTEX:
+		s.dp.BeginDeferredTex()
+		r := s.newReq()
+		r.kind, r.in, r.w, r.sp = reqTex, in, w, sp
+		r.now, r.pmask = now, pmask
+		r.base = now + uint64(spec.TEXLatency)
+		for _, sec := range sectors {
+			if s.dp.L1LoadSector(sec) {
+				continue // hit: L1 + filtering latency == the TEX floor
+			}
+			s.recordSector(r, sec)
+		}
+		s.recordLanes(r, addrs, pmask)
+		return max0(n-1) / 4, uint64(max1(n / 2))
+	}
+	panic(fmt.Sprintf("sm: deferGlobal on non-deferrable op %s", in.Op))
+}
+
+// DrainSlice services every mailbox entry's traffic that maps to one L2
+// slice: the timing accesses (L2 slice, DRAM channel) and the functional
+// Storage operations. Safe to call concurrently for distinct slices of the
+// same SM — each touches only its own slice's cache and channel, its own
+// defStats cell, disjoint sectorDone entries, and (because equal addresses
+// share a slice) non-overlapping Storage ranges and register lanes.
+func (s *SM) DrainSlice(slice int) {
+	st := &s.defStats[slice]
+	sl := uint8(slice)
+	for i := range s.reqs {
+		r := &s.reqs[i]
+		size := int(r.in.Size)
+		switch r.kind {
+		case reqLoad:
+			for k, sec := range r.sectors {
+				if r.sectorSlice[k] == sl {
+					r.sectorDone[k] = s.dp.SharedLoadSector(r.now, sec, slice, st)
+				}
+			}
+			for lane := 0; lane < 32; lane++ {
+				if r.pmask&(1<<lane) != 0 && r.laneSlice[lane] == sl {
+					r.w.regs[r.in.Dst][lane] = s.storage.Read(r.addrs[lane], size)
+				}
+			}
+		case reqStore:
+			for k, sec := range r.sectors {
+				if r.sectorSlice[k] == sl {
+					s.dp.SharedStoreSector(r.now, sec, slice, st)
+				}
+			}
+			for lane := 0; lane < 32; lane++ {
+				if r.pmask&(1<<lane) != 0 && r.laneSlice[lane] == sl {
+					s.storage.Write(r.addrs[lane], r.w.readReg(r.in.Srcs[1], lane), size)
+				}
+			}
+		case reqAtomic:
+			for k, sec := range r.sectors {
+				if r.sectorSlice[k] == sl {
+					r.sectorDone[k] = s.dp.SharedAtomicSector(r.now, sec, slice, st)
+				}
+			}
+			for lane := 0; lane < 32; lane++ {
+				if r.pmask&(1<<lane) == 0 || r.laneSlice[lane] != sl {
+					continue
+				}
+				old := s.storage.Read(r.addrs[lane], size)
+				val := r.w.readReg(r.in.Srcs[1], lane)
+				var nv uint64
+				switch r.in.Atom {
+				case isa.AtomAdd:
+					nv = uint64(int64(old) + int64(val))
+				case isa.AtomMin:
+					nv = old
+					if int64(val) < int64(old) {
+						nv = val
+					}
+				case isa.AtomMax:
+					nv = old
+					if int64(val) > int64(old) {
+						nv = val
+					}
+				case isa.AtomExch:
+					nv = val
+				case isa.AtomAnd:
+					nv = old & val
+				case isa.AtomOr:
+					nv = old | val
+				case isa.AtomCAS:
+					nv = old
+					if old == uint64(int64(r.w.readReg(r.in.Srcs[2], lane))) {
+						nv = val
+					}
+				}
+				s.storage.Write(r.addrs[lane], nv, size)
+				if r.in.Op == isa.OpATOM {
+					r.w.regs[r.in.Dst][lane] = old
+				}
+			}
+		case reqTex:
+			texExtra := uint64(s.spec.TEXLatency - s.spec.L1Latency)
+			for k, sec := range r.sectors {
+				if r.sectorSlice[k] == sl {
+					r.sectorDone[k] = s.dp.SharedLoadSector(r.now, sec, slice, st) + texExtra
+				}
+			}
+			for lane := 0; lane < 32; lane++ {
+				if r.pmask&(1<<lane) != 0 && r.laneSlice[lane] == sl {
+					r.w.regs[r.in.Dst][lane] = s.storage.Read(r.addrs[lane], size)
+				}
+			}
+		}
+	}
+}
+
+// FinalizeEpoch applies the drained mailbox back to the SM: completion times
+// to the register scoreboard, drain lists and memory queues; per-slice L2
+// statistics into the data path; and the trace sample the tick deferred.
+// After it returns, the SM's observable state equals what the sequential
+// engine's inline Tick would have left. One FinalizeEpoch per Tick; the
+// engine must not Tick or AdvanceTo the SM between a deferred Tick and its
+// FinalizeEpoch.
+func (s *SM) FinalizeEpoch() {
+	for i := range s.reqs {
+		r := &s.reqs[i]
+		done := r.base
+		for _, d := range r.sectorDone {
+			if d > done {
+				done = d
+			}
+		}
+		switch r.kind {
+		case reqLoad:
+			r.w.setRegReady(r.in.Dst, done, depLong)
+			r.sp.lgQueue.Push(done)
+		case reqStore:
+			// Fully applied in phase A.
+		case reqAtomic:
+			done = s.dp.AtomicAdjust(done, r.ops, r.contention)
+			if r.in.Op == isa.OpATOM {
+				r.w.setRegReady(r.in.Dst, done, depLong)
+			}
+			r.w.storesPending = append(r.w.storesPending, done)
+			r.sp.lgQueue.Push(done)
+		case reqTex:
+			r.w.setRegReady(r.in.Dst, done, depLong)
+			r.sp.texQueue.Push(done)
+		}
+		r.in, r.w, r.sp = nil, nil, nil // don't pin warps past their reap
+	}
+	s.reqs = s.reqs[:0]
+	for i := range s.defStats {
+		if st := &s.defStats[i]; st.L2Hits|st.L2Misses != 0 {
+			s.dp.MergeSharedStats(st)
+			*st = mem.DataPathStats{}
+		}
+	}
+	if s.pendingSample {
+		s.pendingSample = false
+		cur := s.Counters()
+		s.traceSamples = append(s.traceSamples, cur.Sub(&s.traceBase))
+		s.traceBase = cur
+	}
+}
+
+// HasDeferred reports whether the mailbox holds unapplied requests.
+func (s *SM) HasDeferred() bool { return len(s.reqs) > 0 }

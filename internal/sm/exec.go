@@ -464,6 +464,9 @@ func (s *SM) execMemory(sp *subpart, w *warp, in *isa.Instr, pmask uint32, now u
 		}
 		sectors := mem.CoalesceSectorsInto(s.sectorScratch[:0], &addrs, pmask, size, uint64(spec.SectorSize))
 		s.sectorScratch = sectors // keep the (possibly re-grown) backing
+		if s.deferred {
+			return s.deferGlobal(sp, w, in, pmask, now, &addrs, sectors)
+		}
 		switch in.Op {
 		case isa.OpLDG:
 			for lane := 0; lane < 32; lane++ {
@@ -582,6 +585,9 @@ func (s *SM) execMemory(sp *subpart, w *warp, in *isa.Instr, pmask uint32, now u
 		}
 		sectors := mem.CoalesceSectorsInto(s.sectorScratch[:0], &addrs, pmask, size, uint64(spec.SectorSize))
 		s.sectorScratch = sectors
+		if s.deferred {
+			return s.deferGlobal(sp, w, in, pmask, now, &addrs, sectors)
+		}
 		if in.Op == isa.OpLDL {
 			for lane := 0; lane < 32; lane++ {
 				if pmask&(1<<lane) != 0 {
@@ -650,13 +656,16 @@ func (s *SM) execMemory(sp *subpart, w *warp, in *isa.Instr, pmask uint32, now u
 				addrs[lane] = uint64(int64(w.readReg(in.Srcs[0], lane)) + in.Imm)
 			}
 		}
+		sectors := mem.CoalesceSectorsInto(s.sectorScratch[:0], &addrs, pmask, size, uint64(spec.SectorSize))
+		s.sectorScratch = sectors
+		if s.deferred {
+			return s.deferGlobal(sp, w, in, pmask, now, &addrs, sectors)
+		}
 		for lane := 0; lane < 32; lane++ {
 			if pmask&(1<<lane) != 0 {
 				w.regs[in.Dst][lane] = s.storage.Read(addrs[lane], size)
 			}
 		}
-		sectors := mem.CoalesceSectorsInto(s.sectorScratch[:0], &addrs, pmask, size, uint64(spec.SectorSize))
-		s.sectorScratch = sectors
 		done, n := s.dp.TexFetch(now, sectors)
 		w.setRegReady(in.Dst, done, depLong)
 		sp.texQueue.Push(done)

@@ -12,11 +12,10 @@ import (
 
 func testSM() *SM {
 	spec := gpu.QuadroRTX4000().WithSMs(1)
-	l2 := mem.NewCache("L2", spec.L2Size, spec.L2Ways, spec.LineSize, spec.SectorSize)
-	dram := mem.NewDRAM(spec.DRAMLatency, spec.DRAMBytesPerCycle, spec.DRAMQueueDepth)
+	ms := mem.NewMemSys(spec)
 	st := mem.NewStorage(1 << 20)
 	cb := mem.NewConstantBank(spec.ConstBankSize)
-	return New(spec, 0, l2, dram, st, cb)
+	return New(spec, 0, ms, st, cb)
 }
 
 func trivialLaunch(threads int) *kernel.Launch {

@@ -13,12 +13,11 @@ import (
 // covering the addresses the wakeup-test kernels touch.
 func testSMBacked() *SM {
 	spec := gpu.QuadroRTX4000().WithSMs(1)
-	l2 := mem.NewCache("L2", spec.L2Size, spec.L2Ways, spec.LineSize, spec.SectorSize)
-	dram := mem.NewDRAM(spec.DRAMLatency, spec.DRAMBytesPerCycle, spec.DRAMQueueDepth)
+	ms := mem.NewMemSys(spec)
 	st := mem.NewStorage(1 << 20)
 	st.Alloc(1 << 19) // map the low half; kernels address well below this
 	cb := mem.NewConstantBank(spec.ConstBankSize)
-	return New(spec, 0, l2, dram, st, cb)
+	return New(spec, 0, ms, st, cb)
 }
 
 // smRun drives one SM to completion on a single block. When ff is true it

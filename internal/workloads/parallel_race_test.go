@@ -1,0 +1,33 @@
+package workloads
+
+import (
+	"testing"
+
+	"gputopdown/internal/gpu"
+)
+
+// TestParallelEngineRaceApps drives the parallel engine (4 workers) over two
+// memory-heavy suite apps and pins bit-identity against the sequential
+// fast-forward engine. Under `go test -race` — the CI configuration — this
+// is the data-race gate for the epoch worker pool: gups hammers random L2
+// slices with atomics, myocyte mixes long latency chains with heavy
+// fast-forwarding.
+func TestParallelEngineRaceApps(t *testing.T) {
+	apps := []struct{ suite, name string }{
+		{"altis", "gups"},
+		{"rodinia", "myocyte"},
+	}
+	for _, id := range apps {
+		a, ok := Lookup(id.suite, id.name)
+		if !ok {
+			t.Fatalf("unknown app %s/%s", id.suite, id.name)
+		}
+		t.Run(a.ID(), func(t *testing.T) {
+			t.Parallel()
+			spec := func() *gpu.Spec { return gpu.QuadroRTX4000().WithSMs(4) }
+			seq := collectRuns(t, a, spec(), true, 0, 1)
+			par := collectRuns(t, a, spec(), true, 0, 4)
+			compareRuns(t, "parallel", seq, par)
+		})
+	}
+}

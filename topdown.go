@@ -122,6 +122,16 @@ func WithRoofline() Option { return func(p *Profiler) { p.roofline = true } }
 // are assembled in pass order.
 func WithReplayWorkers(n int) Option { return func(p *Profiler) { p.replayWorkers = n } }
 
+// WithSimWorkers sets the intra-launch parallelism degree: the number of
+// workers one kernel launch may shard its SM simulation across (the
+// epoch-lockstep engine; see DESIGN.md §13). 1 (the default) runs the
+// sequential engine; the value is clamped to GOMAXPROCS. Results are
+// bit-identical at every setting — only host wall-clock changes. SM-level
+// workers multiply with pass-level replay workers (WithReplayWorkers), so
+// when both exceed 1 the per-device worker count is further clamped to keep
+// the total goroutine budget within GOMAXPROCS.
+func WithSimWorkers(n int) Option { return func(p *Profiler) { p.simWorkers = n } }
+
 // WithFastForward selects the launch engine. On (the default), the device
 // fast-forwards each SM over provably idle cycle spans — spans the SM proves
 // no observable state can change in — bulk-accounting the skipped cycles, so
@@ -224,6 +234,7 @@ type Profiler struct {
 	sampleEvery   int
 	roofline      bool
 	replayWorkers int
+	simWorkers    int
 	cacheOn       bool
 	fastForward   bool
 	cache         *cupti.ReplayCache
@@ -267,6 +278,12 @@ func NewProfiler(spec *gpu.Spec, opts ...Option) *Profiler {
 	}
 	if p.replayWorkers < 0 {
 		p.replayWorkers = 1
+	}
+	if p.simWorkers < 1 {
+		p.simWorkers = 1
+	}
+	if max := runtime.GOMAXPROCS(0); p.simWorkers > max {
+		p.simWorkers = max
 	}
 	if p.cacheOn {
 		p.cache = cupti.NewReplayCache(0)
@@ -324,6 +341,9 @@ func NewProfilerE(spec *gpu.Spec, opts ...Option) (*Profiler, error) {
 	}
 	if probe.replayWorkers < 0 {
 		return nil, fmt.Errorf("gputopdown: negative replay worker count %d", probe.replayWorkers)
+	}
+	if probe.simWorkers < 0 {
+		return nil, fmt.Errorf("gputopdown: negative sim worker count %d", probe.simWorkers)
 	}
 	p := NewProfiler(spec, opts...)
 	if p.obsErr != nil {
@@ -457,7 +477,34 @@ func (r *AppResult) KernelNames() []string {
 func (p *Profiler) ProfileApp(ctx context.Context, app *workloads.App) (*AppResult, error) {
 	dev := sim.NewDeviceMem(p.spec, p.memBytes)
 	dev.SetFastForward(p.fastForward)
+	dev.SetSimWorkers(p.effectiveSimWorkers())
 	return p.profileOn(ctx, dev, app)
+}
+
+// effectiveSimWorkers is the per-device intra-launch worker count after the
+// shared-budget clamp: when the replay engine fans passes across its own
+// worker devices (each of which clones the profiled device, inheriting its
+// sim-worker setting), the product of the two degrees is held within
+// GOMAXPROCS so the two parallelism levels share one CPU budget instead of
+// oversubscribing the host.
+func (p *Profiler) effectiveSimWorkers() int {
+	n := p.simWorkers
+	if n < 1 {
+		n = 1
+	}
+	rw := p.replayWorkers
+	if rw == 0 {
+		rw = runtime.NumCPU()
+	}
+	if rw > 1 {
+		if b := runtime.GOMAXPROCS(0) / rw; n > b {
+			n = b
+		}
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
 }
 
 // ProfileAppCtx is the former name of the context-first ProfileApp.
@@ -606,6 +653,7 @@ func (p *Profiler) Timeline(ctx context.Context, app *workloads.App, kernelName 
 	}
 	dev := sim.NewDeviceMem(p.spec, p.memBytes)
 	dev.SetFastForward(p.fastForward)
+	dev.SetSimWorkers(p.effectiveSimWorkers())
 	dev.EnableTrace(interval)
 	analyzer := core.NewAnalyzer(p.spec, p.level)
 	analyzer.Normalize = p.normalize
@@ -659,6 +707,7 @@ func (p *Profiler) TimelineCtx(ctx context.Context, app *workloads.App, kernelNa
 func (p *Profiler) RunNative(app *workloads.App) (uint64, error) {
 	dev := sim.NewDeviceMem(p.spec, p.memBytes)
 	dev.SetFastForward(p.fastForward)
+	dev.SetSimWorkers(p.effectiveSimWorkers())
 	if p.logger != nil {
 		dev.SetLogger(p.logger)
 	}
