@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench-sim bench-parallel bench-compare
+.PHONY: all build test golden bench-sim bench-parallel bench-compare
 
 all: build
 
@@ -9,6 +9,15 @@ build:
 
 test:
 	$(GO) test ./...
+
+# golden regenerates the committed canonical-report corpus under
+# internal/check/testdata/golden (every suite app on both evaluation GPUs).
+# On an unchanged tree it rewrites nothing — the profiler is deterministic
+# and the canonical form zeroes wall-clock. Run it after an intentional
+# simulator or analysis change and review the resulting diff like any other
+# code change.
+golden:
+	$(GO) run ./cmd/goldengen
 
 # bench-sim measures the fast-forward launch engine against the naive
 # cycle loop: the Go micro-benchmarks on the synthetic memory-bound kernel

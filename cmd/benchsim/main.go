@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"gputopdown/internal/check"
 	"gputopdown/internal/gpu"
 	"gputopdown/internal/kernel"
 	"gputopdown/internal/sim"
@@ -161,6 +162,10 @@ type aggregate struct {
 	Launches int
 }
 
+// inv is the -checks invariant checker, attached to every measured device
+// when enabled; nil keeps the zero-cost disabled path.
+var inv *check.Invariants
+
 // measure runs app once under the given engine, timing only the Launch
 // calls (host-side input generation is engine-independent). workers > 1
 // selects the parallel epoch-lockstep engine.
@@ -168,6 +173,9 @@ func measure(app *workloads.App, spec *gpu.Spec, ff bool, workers int) (time.Dur
 	dev := sim.NewDevice(spec)
 	dev.SetFastForward(ff)
 	dev.SetSimWorkers(workers)
+	if inv != nil {
+		dev.SetChecker(inv)
+	}
 	var agg aggregate
 	var simTime time.Duration
 	err := app.Execute(dev, func(l *kernel.Launch) error {
@@ -200,7 +208,18 @@ func main() {
 	simWorkers := flag.Int("sim-workers", 0, "also measure the parallel engine with this many intra-launch workers (0 disables)")
 	parRefList := flag.String("par-refs", "", "comma-separated suite/app:minParSpeedup gates on the parallel engine (enforced only when the host has >= -sim-workers CPUs)")
 	scaling := flag.String("scaling", "", "comma-separated worker counts (e.g. 1,2,4,8): print a parallel-engine scaling table per app instead of gating")
+	checks := flag.Bool("checks", false, "assert simulator conservation laws on every measured run (internal/check; perturbs timings — not for record-keeping runs)")
 	flag.Parse()
+
+	if *checks {
+		inv = check.New()
+		defer func() {
+			if err := inv.Err(); err != nil {
+				fatalf("invariant checks failed:\n%v", err)
+			}
+			fmt.Fprintln(os.Stderr, "benchsim: invariant checks passed")
+		}()
+	}
 
 	spec, ok := gpu.Lookup(*gpuID)
 	if !ok {

@@ -1,0 +1,118 @@
+// Command goldengen regenerates the golden-report corpus under
+// internal/check/testdata/golden: one canonical JSON Top-Down report per
+// suite application per evaluation GPU, profiled at the library defaults
+// (level 3 — capped to 2 on the Pascal device — normalised, SMPC,
+// sequential replay, fast-forward on). The corpus is the repository's
+// end-to-end regression baseline: TestGoldenReports re-profiles every app
+// and requires byte-identical output, so any change to simulator timing,
+// counter accounting, or analysis equations shows up as a reviewable diff
+// of these files.
+//
+// Run it via `make golden` after an intentional behavior change; on an
+// unchanged tree it is a no-op (the files are byte-identical because the
+// profiler is deterministic and wall-clock is zeroed by the canonical
+// form).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gputopdown"
+	"gputopdown/internal/check"
+)
+
+// GPUs is the corpus device axis: both evaluation GPUs of the paper
+// (Table IX), exercising the nvprof (CC < 7.2) and ncu metric paths.
+var gpus = []string{"gtx1070", "rtx4000"}
+
+func main() {
+	dir := flag.String("dir", "internal/check/testdata/golden", "corpus root directory")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent profiles")
+	flag.Parse()
+
+	type job struct{ gpu, suite, app string }
+	var jobs []job
+	for _, g := range gpus {
+		for _, s := range gputopdown.Suites() {
+			for _, a := range gputopdown.SuiteApps(s) {
+				jobs = append(jobs, job{gpu: g, suite: s, app: a.Name})
+			}
+		}
+	}
+	for _, g := range gpus {
+		if err := os.MkdirAll(filepath.Join(*dir, g), 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	var wrote, unchanged atomic.Int64
+	var firstErr atomic.Value
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				path := filepath.Join(*dir, j.gpu, j.suite+"__"+j.app+".json")
+				data, err := goldenFor(j.gpu, j.suite, j.app)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("%s/%s on %s: %w", j.suite, j.app, j.gpu, err))
+					continue
+				}
+				if old, err := os.ReadFile(path); err == nil && string(old) == string(data) {
+					unchanged.Add(1)
+					continue
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				wrote.Add(1)
+				fmt.Printf("wrote %s\n", path)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("goldengen: %d reports (%d rewritten, %d unchanged)\n",
+		len(jobs), wrote.Load(), unchanged.Load())
+}
+
+// goldenFor profiles one app at the corpus configuration and returns its
+// canonical report bytes. The profiler configuration must match
+// TestGoldenReports exactly; both sides use the library defaults.
+func goldenFor(gpuID, suite, app string) ([]byte, error) {
+	spec, ok := gputopdown.LookupGPU(gpuID)
+	if !ok {
+		return nil, fmt.Errorf("unknown gpu %q", gpuID)
+	}
+	a, err := gputopdown.GetApp(suite, app)
+	if err != nil {
+		return nil, err
+	}
+	p := gputopdown.NewProfiler(spec)
+	res, err := p.ProfileApp(context.Background(), a)
+	if err != nil {
+		return nil, err
+	}
+	return check.ReportJSON(res.Report())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "goldengen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"gputopdown/internal/check"
 	"gputopdown/internal/cupti"
 	"gputopdown/internal/gpu"
 	"gputopdown/internal/kernel"
@@ -47,6 +48,7 @@ func main() {
 	simWorkers := flag.Int("sim-workers", 1, "intra-launch SM-simulation workers per device (1 = sequential; bit-identical results at any setting)")
 	replayCache := flag.Bool("replay-cache", false, "memoize byte-identical kernel invocations instead of re-simulating them")
 	ff := flag.Bool("ff", true, "fast-forward provably idle cycle spans (bit-identical results; -ff=false runs the naive cycle loop)")
+	checks := flag.Bool("checks", false, "assert simulator conservation laws during the run (internal/check); violations exit nonzero")
 	serve := flag.String("serve", "", "serve live observability HTTP on this address (/metrics, /healthz, /trace, /api/progress, /debug/pprof/)")
 	flameOut := flag.String("flame-out", "", "write per-kernel simulated-cycle stacks in collapsed format (open in speedscope)")
 	logLevel := flag.String("log-level", "", "enable structured logging at this level: debug, info, warn or error")
@@ -115,6 +117,11 @@ func main() {
 	sess.SetWorkers(workers)
 	if *replayCache {
 		sess.SetCache(cupti.NewReplayCache(0))
+	}
+	var inv *check.Invariants
+	if *checks {
+		inv = check.New()
+		sess.SetChecker(inv)
 	}
 
 	var tracer *obs.Tracer
@@ -239,6 +246,13 @@ func main() {
 		}
 	}
 	fmt.Printf("==PROF== raw counters: %s\n", strings.Join(raw, ", "))
+
+	if inv != nil {
+		if err := inv.Err(); err != nil {
+			fatalf("invariant checks failed:\n%v", err)
+		}
+		fmt.Fprintln(os.Stderr, "gpuprof: invariant checks passed")
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -50,6 +50,7 @@ func main() {
 	simWorkers := flag.Int("sim-workers", 1, "intra-launch SM-simulation workers per device (1 = sequential; bit-identical results at any setting)")
 	replayCache := flag.Bool("replay-cache", false, "memoize byte-identical kernel invocations instead of re-simulating them")
 	ff := flag.Bool("ff", true, "fast-forward provably idle cycle spans (bit-identical results; -ff=false runs the naive cycle loop)")
+	checks := flag.Bool("checks", false, "assert simulator conservation laws during the run (internal/check); violations are reported and exit nonzero")
 	all := flag.Bool("all", false, "profile every app of -suite (a sweep; pairs with -serve and the progress log)")
 	serve := flag.String("serve", "", "serve live observability HTTP on this address (/metrics, /healthz, /trace, /api/progress, /debug/pprof/)")
 	flameOut := flag.String("flame-out", "", "write the Top-Down cycle attribution as collapsed stacks (open in speedscope or flamegraph.pl)")
@@ -125,7 +126,8 @@ func main() {
 	opts = append(opts, gputopdown.WithReplayWorkers(*replayWorkers),
 		gputopdown.WithSimWorkers(*simWorkers),
 		gputopdown.WithReplayCache(*replayCache),
-		gputopdown.WithFastForward(*ff))
+		gputopdown.WithFastForward(*ff),
+		gputopdown.WithChecks(*checks))
 
 	var logger *gputopdown.Logger
 	if *logLevel != "" {
@@ -167,6 +169,7 @@ func main() {
 		}
 		printSweep(results, *overhead)
 		writeFlame(results...)
+		reportChecks(p, *checks)
 		return
 	}
 
@@ -195,6 +198,7 @@ func main() {
 		fatalf("%v", err)
 	}
 	writeFlame(res)
+	reportChecks(p, *checks)
 
 	if *overhead {
 		printOverhead(res)
@@ -377,6 +381,18 @@ func listAll() {
 			fmt.Printf("  %s\n", n)
 		}
 	}
+}
+
+// reportChecks surfaces the -checks verdict: violations are fatal (nonzero
+// exit) so CI can gate on a clean run; a clean run notes it on stderr.
+func reportChecks(p *gputopdown.Profiler, on bool) {
+	if !on {
+		return
+	}
+	if err := p.CheckErr(); err != nil {
+		fatalf("invariant checks failed:\n%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "topdown: invariant checks passed")
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,145 @@
+package check
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+
+	"gputopdown/internal/serve"
+)
+
+// ReportJSON marshals a report in its canonical byte form: wall-clock zeroed,
+// two-space indentation, trailing newline. cmd/goldengen and the golden gate
+// test share this helper, so the committed corpus and the freshly profiled
+// reports are compared byte-for-byte with no formatting slack.
+func ReportJSON(rep *serve.Report) ([]byte, error) {
+	b, err := json.MarshalIndent(rep.Canonical(), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// maxDiffLines caps DiffJSON output; a diverged report can disagree on
+// thousands of leaves and the first few localise the change.
+const maxDiffLines = 40
+
+// DiffJSON compares two JSON documents structurally and returns a readable
+// per-node diff: one line per diverging path, want vs got. It returns "" when
+// the documents are byte-identical. Byte-different but semantically equal
+// documents (formatting drift) are reported as such — the golden gate treats
+// that as a failure too, since the corpus is compared byte-for-byte.
+func DiffJSON(want, got []byte) string {
+	if bytes.Equal(want, got) {
+		return ""
+	}
+	var w, g any
+	if err := json.Unmarshal(want, &w); err != nil {
+		return "want side is not valid JSON: " + err.Error()
+	}
+	if err := json.Unmarshal(got, &g); err != nil {
+		return "got side is not valid JSON: " + err.Error()
+	}
+	var lines []string
+	diffNode("$", w, g, &lines)
+	if len(lines) == 0 {
+		return "documents are semantically equal but byte-different (formatting or key-order drift)"
+	}
+	if len(lines) > maxDiffLines {
+		lines = append(lines[:maxDiffLines], fmt.Sprintf("... and %d more diverging nodes", len(lines)-maxDiffLines))
+	}
+	return strings.Join(lines, "\n")
+}
+
+func diffNode(path string, w, g any, lines *[]string) {
+	if len(*lines) > maxDiffLines {
+		return
+	}
+	switch wv := w.(type) {
+	case map[string]any:
+		gv, ok := g.(map[string]any)
+		if !ok {
+			*lines = append(*lines, fmt.Sprintf("%s: want object, got %s", path, typeName(g)))
+			return
+		}
+		for _, k := range unionKeys(wv, gv) {
+			wc, inW := wv[k]
+			gc, inG := gv[k]
+			sub := path + "." + k
+			switch {
+			case !inG:
+				*lines = append(*lines, fmt.Sprintf("%s: missing (want %s)", sub, renderLeaf(wc)))
+			case !inW:
+				*lines = append(*lines, fmt.Sprintf("%s: unexpected (got %s)", sub, renderLeaf(gc)))
+			default:
+				diffNode(sub, wc, gc, lines)
+			}
+		}
+	case []any:
+		gv, ok := g.([]any)
+		if !ok {
+			*lines = append(*lines, fmt.Sprintf("%s: want array, got %s", path, typeName(g)))
+			return
+		}
+		if len(wv) != len(gv) {
+			*lines = append(*lines, fmt.Sprintf("%s: length %d, want %d", path, len(gv), len(wv)))
+		}
+		n := len(wv)
+		if len(gv) < n {
+			n = len(gv)
+		}
+		for i := 0; i < n; i++ {
+			diffNode(fmt.Sprintf("%s[%d]", path, i), wv[i], gv[i], lines)
+		}
+	default:
+		if !reflect.DeepEqual(w, g) {
+			*lines = append(*lines, fmt.Sprintf("%s: got %s, want %s", path, renderLeaf(g), renderLeaf(w)))
+		}
+	}
+}
+
+func unionKeys(a, b map[string]any) []string {
+	ks := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		ks = append(ks, k)
+	}
+	for k := range b {
+		if _, dup := a[k]; !dup {
+			ks = append(ks, k)
+		}
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case nil:
+		return "null"
+	case string:
+		return "string"
+	case bool:
+		return "bool"
+	case float64:
+		return "number"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+func renderLeaf(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	if len(b) > 80 {
+		return string(b[:77]) + "..."
+	}
+	return string(b)
+}

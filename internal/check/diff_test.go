@@ -1,0 +1,125 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gputopdown/internal/serve"
+)
+
+func TestDiffJSONEqual(t *testing.T) {
+	doc := []byte(`{"a": 1, "b": [1, 2]}`)
+	if d := DiffJSON(doc, doc); d != "" {
+		t.Fatalf("identical docs diffed: %s", d)
+	}
+}
+
+func TestDiffJSONLeafChange(t *testing.T) {
+	want := []byte(`{"cycles": 100, "name": "k"}`)
+	got := []byte(`{"cycles": 101, "name": "k"}`)
+	d := DiffJSON(want, got)
+	if !strings.Contains(d, "$.cycles") || !strings.Contains(d, "100") || !strings.Contains(d, "101") {
+		t.Fatalf("diff should locate the leaf: %s", d)
+	}
+	if strings.Contains(d, "$.name") {
+		t.Fatalf("diff flagged an unchanged leaf: %s", d)
+	}
+}
+
+func TestDiffJSONStructural(t *testing.T) {
+	for _, tc := range []struct {
+		name, want, got, needle string
+	}{
+		{"missing-key", `{"a": 1, "b": 2}`, `{"a": 1}`, "$.b: missing"},
+		{"extra-key", `{"a": 1}`, `{"a": 1, "c": 3}`, "$.c: unexpected"},
+		{"type-change", `{"a": {"x": 1}}`, `{"a": [1]}`, "want object"},
+		{"array-type", `{"a": [1]}`, `{"a": 1}`, "want array"},
+		{"array-length", `{"a": [1, 2, 3]}`, `{"a": [1, 2]}`, "length 2, want 3"},
+		{"array-elem", `{"a": [1, 2]}`, `{"a": [1, 9]}`, "$.a[1]"},
+		{"null-vs-num", `{"a": null}`, `{"a": 0}`, "$.a"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := DiffJSON([]byte(tc.want), []byte(tc.got))
+			if !strings.Contains(d, tc.needle) {
+				t.Fatalf("diff %q missing %q", d, tc.needle)
+			}
+		})
+	}
+}
+
+func TestDiffJSONFormattingDrift(t *testing.T) {
+	d := DiffJSON([]byte(`{"a":1}`), []byte(`{ "a": 1 }`))
+	if !strings.Contains(d, "byte-different") {
+		t.Fatalf("formatting drift should be named as such: %s", d)
+	}
+}
+
+func TestDiffJSONInvalid(t *testing.T) {
+	if d := DiffJSON([]byte(`{`), []byte(`{}`)); !strings.Contains(d, "want side") {
+		t.Fatalf("invalid want side not reported: %s", d)
+	}
+	if d := DiffJSON([]byte(`{}`), []byte(`{`)); !strings.Contains(d, "got side") {
+		t.Fatalf("invalid got side not reported: %s", d)
+	}
+}
+
+func TestDiffJSONLineCap(t *testing.T) {
+	var w, g strings.Builder
+	w.WriteString("{")
+	g.WriteString("{")
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			w.WriteString(",")
+			g.WriteString(",")
+		}
+		fmt.Fprintf(&w, `"k%03d": 0`, i)
+		fmt.Fprintf(&g, `"k%03d": 1`, i)
+	}
+	w.WriteString("}")
+	g.WriteString("}")
+	d := DiffJSON([]byte(w.String()), []byte(g.String()))
+	if !strings.Contains(d, "more diverging nodes") {
+		t.Fatalf("cap note missing from a 100-leaf diff:\n%s", d)
+	}
+	if n := strings.Count(d, "\n"); n > maxDiffLines+2 {
+		t.Fatalf("diff has %d lines, cap is %d", n, maxDiffLines)
+	}
+}
+
+func TestReportJSONCanonicalAndStable(t *testing.T) {
+	rep := &serve.Report{
+		APIVersion:  serve.APIVersion,
+		App:         "a",
+		Suite:       "s",
+		GPU:         "g",
+		WallSeconds: 1.25,
+		Kernels: []serve.KernelReport{
+			{Kernel: "k", Invocation: 0, Cycles: 42},
+		},
+	}
+	b1, err := ReportJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b1), `"wall_seconds": 0`) {
+		t.Fatalf("wall_seconds not zeroed:\n%s", b1)
+	}
+	if rep.WallSeconds != 1.25 {
+		t.Fatal("ReportJSON mutated its argument")
+	}
+	if !strings.HasSuffix(string(b1), "\n") {
+		t.Fatal("missing trailing newline")
+	}
+	// Round-trip stability: a second marshal of the same report is
+	// byte-identical, and so is a marshal of a copy with different wall time.
+	rep2 := *rep
+	rep2.WallSeconds = 99
+	b2, err := ReportJSON(&rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("canonical form depends on wall time:\n%s", DiffJSON(b1, b2))
+	}
+}

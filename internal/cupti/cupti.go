@@ -101,6 +101,11 @@ type Session struct {
 	// cache, when non-nil, memoizes byte-identical invocations.
 	cache *ReplayCache
 
+	// checker, when non-nil, receives in-loop device invariant hooks (via
+	// the session device and every clone) plus the session-level pass-merge
+	// check after each profiled invocation.
+	checker Checker
+
 	// sampleEvery > 1 enables the paper's §VII mitigation: only every n-th
 	// invocation of a kernel is fully replayed; the rest run natively once
 	// and inherit the most recent sampled counter values.
@@ -264,6 +269,38 @@ func (s *Session) SetWorkers(n int) {
 // Workers returns the configured replay worker bound.
 func (s *Session) Workers() int { return s.workers }
 
+// Checker receives the session's invariant hooks. It extends the device-level
+// sim.Checker with the pass-merge conservation law: after the deterministic
+// pass-order merge, every scheduled counter's merged value must equal its
+// reading from the pass that collected it, and free-running counters must be
+// identical across all passes (the determinism the merge relies on).
+// internal/check.Invariants implements it. Implementations must be
+// goroutine-safe: with concurrent replay, cloned devices invoke the device
+// hooks from multiple goroutines.
+type Checker interface {
+	sim.Checker
+	// CheckPassMerge runs after merging per-pass readings for one profiled
+	// invocation. passes is the schedule, perPass the collected counter
+	// snapshot of each pass (index-aligned), merged the final values.
+	CheckPassMerge(kernel string, passes [][]pmu.CounterID, perPass []sm.Counters, merged pmu.Values)
+}
+
+// SetChecker attaches an invariant checker to the session, its device and
+// every replay clone (nil detaches everywhere). Like SetObserver, the
+// attachment is observational only: profiled results are bit-identical with
+// and without a checker.
+func (s *Session) SetChecker(c Checker) {
+	s.checker = c
+	var devC sim.Checker
+	if c != nil {
+		devC = c
+	}
+	s.dev.SetChecker(devC)
+	for _, cl := range s.clones {
+		cl.SetChecker(devC)
+	}
+}
+
 // SetCache attaches a replay result cache (nil detaches). The cache may be
 // shared by many sessions, including concurrently.
 func (s *Session) SetCache(c *ReplayCache) { s.cache = c }
@@ -404,6 +441,13 @@ func (s *Session) ProfileCtx(ctx context.Context, l *kernel.Launch) (*KernelReco
 			s.mFlushCyc.Add(float64(fc))
 		}
 	}
+	if s.checker != nil {
+		perPass := make([]sm.Counters, len(results))
+		for i := range results {
+			perPass[i] = results[i].counters
+		}
+		s.checker.CheckPassMerge(l.Program.Name, passes, perPass, values)
+	}
 	rec.Values = values
 	rec.Invocation = s.invocations[rec.Kernel]
 	s.invocations[rec.Kernel]++
@@ -499,6 +543,9 @@ func (s *Session) ensureClones(n int) {
 		c := s.dev.Clone()
 		if s.reg != nil {
 			c.SetObserver(nil, s.reg)
+		}
+		if s.checker != nil {
+			c.SetChecker(s.checker)
 		}
 		s.clones = append(s.clones, c)
 	}

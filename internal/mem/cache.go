@@ -10,7 +10,10 @@
 // cupti) sound.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // CacheStats counts cache activity. Hits+Misses == Lookups always holds
 // (checked by property tests).
@@ -194,3 +197,28 @@ func (c *Cache) Ways() int { return c.ways }
 
 // SectorSize returns the sector size in bytes.
 func (c *Cache) SectorSize() uint64 { return c.sectorSize }
+
+// ResidentLines counts the valid lines currently held. It can never exceed
+// Sets()*Ways(); the invariant checker asserts that bound.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentSectors counts the valid sectors across all resident lines. A line
+// with no valid sectors cannot exist (allocation always fills one sector), so
+// ResidentSectors() >= ResidentLines() whenever any line is resident.
+func (c *Cache) ResidentSectors() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n += bits.OnesCount32(c.lines[i].sectors)
+		}
+	}
+	return n
+}

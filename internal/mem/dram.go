@@ -82,6 +82,18 @@ func (d *DRAM) Request(now uint64, n int) uint64 {
 // Stats returns a copy of the accumulated statistics.
 func (d *DRAM) Stats() DRAMStats { return d.stats }
 
+// PendingSorted reports whether the live portion of the inflight list is in
+// non-decreasing completion order — the invariant the drain loop depends on.
+// It is a non-mutating scan for the invariant checker.
+func (d *DRAM) PendingSorted() bool {
+	for i := d.head + 1; i < len(d.inflight); i++ {
+		if d.inflight[i] < d.inflight[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
 // Reset clears queue state and statistics.
 func (d *DRAM) Reset() {
 	d.bandFree = 0
@@ -161,3 +173,15 @@ func (q *TimedQueue) Len(now uint64) int {
 
 // Reset empties the queue.
 func (q *TimedQueue) Reset() { q.pending, q.head = q.pending[:0], 0 }
+
+// Sorted reports whether the live portion of the queue is in non-decreasing
+// completion order — the invariant Push maintains and NextCompletion depends
+// on. It is a non-mutating scan for the invariant checker.
+func (q *TimedQueue) Sorted() bool {
+	for i := q.head + 1; i < len(q.pending); i++ {
+		if q.pending[i] < q.pending[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -87,6 +87,15 @@ func (m *MemSys) Rebase(addr uint64) uint64 {
 	return ((addr >> (m.lineShift + m.sliceBits)) << m.lineShift) | (addr & m.lineMask)
 }
 
+// Unrebase is the inverse of Rebase: it reconstructs the original device
+// address from a slice index and a slice-local address. For every addr,
+// Unrebase(SliceOf(addr), Rebase(addr)) == addr — the bijection the invariant
+// checker (and FuzzSliceRouting) asserts.
+func (m *MemSys) Unrebase(slice int, local uint64) uint64 {
+	line := (local >> m.lineShift << m.sliceBits) | uint64(slice)
+	return (line << m.lineShift) | (local & m.lineMask)
+}
+
 // AccessSlice runs a lookup for addr (an original, un-rebased address) on the
 // given slice, filling on miss, and reports whether it hit. The caller must
 // pass slice == SliceOf(addr); splitting routing from access lets the

@@ -192,3 +192,17 @@ type Report struct {
 	Aggregate      *Analysis       `json:"aggregate,omitempty"`
 	Failed         []KernelFailure `json:"failed,omitempty"`
 }
+
+// Canonical returns a copy of the report with WallSeconds zeroed — the one
+// field that varies between identical runs. Everything else in the schema is
+// deterministic, so canonical reports of identical runs are byte-identical
+// when marshalled; the golden corpus (internal/check) stores this form. The
+// receiver is not modified; nested kernels and analyses are shared read-only.
+func (r *Report) Canonical() *Report {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.WallSeconds = 0
+	return &c
+}

@@ -34,6 +34,27 @@ const maxLaunchCycles = 10_000_000
 // track while tracing is enabled.
 const residencySampleCycles = 256
 
+// checkStride is the guard-cycle stride between in-loop invariant sweeps when
+// a Checker is attached. A sweep walks every SM and L2 slice, so running it
+// literally every epoch would dominate the launch; every checkStride guard
+// cycles still catches a violated conservation law within one stride of its
+// introduction, and CheckLaunch always runs on the final state.
+const checkStride = 1024
+
+// Checker receives in-loop invariant hooks. It is an interface defined here
+// (rather than importing internal/check) so the simulation loop stays free of
+// upward dependencies; internal/check.Invariants implements it. Both methods
+// may be called from the launch goroutine of any device — including the
+// cloned devices of concurrent replay — so implementations must be
+// goroutine-safe.
+type Checker interface {
+	// CheckEpoch runs mid-launch on the live device state, every checkStride
+	// guard cycles. The device is quiescent between epochs when this runs.
+	CheckEpoch(d *Device, guard uint64)
+	// CheckLaunch runs once per completed launch on the assembled result.
+	CheckLaunch(d *Device, res *RunResult)
+}
+
 // Device is one simulated GPU.
 type Device struct {
 	Spec    *gpu.Spec
@@ -65,6 +86,13 @@ type Device struct {
 	// lastTicks counts the simulation-loop iterations of the most recent
 	// launch; with fast-forward on, Cycles - lastTicks cycles were skipped.
 	lastTicks uint64
+
+	// checker, when non-nil, receives stride-gated in-loop invariant sweeps
+	// and a per-launch final check (see Checker). checkNext is the guard
+	// cycle of the next due sweep. Nil checker costs one pointer compare per
+	// loop iteration and allocates nothing.
+	checker   Checker
+	checkNext uint64
 
 	// Observability (nil/disabled by default; see SetObserver). The metric
 	// handles are pre-created so the launch hot path only performs nil-safe
@@ -270,6 +298,14 @@ func (d *Device) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
 // Tracer returns the attached tracer (nil when detached).
 func (d *Device) Tracer() *obs.Tracer { return d.tracer }
 
+// SetChecker attaches an in-loop invariant checker (nil detaches). The
+// checker observes, never mutates: results are bit-identical with and
+// without one, and the nil path stays allocation-free.
+func (d *Device) SetChecker(c Checker) { d.checker = c }
+
+// CheckerAttached reports whether an invariant checker is attached.
+func (d *Device) CheckerAttached() bool { return d.checker != nil }
+
 // SetLogger attaches a structured logger; launch summaries and fast-forward
 // accounting are logged at debug level under component "sim". Nil detaches
 // and restores the zero-cost path.
@@ -411,6 +447,13 @@ func (d *Device) LaunchCtx(ctx context.Context, l *kernel.Launch) (*RunResult, e
 		}
 	}
 
+	// A completed launch always gets a final invariant sweep over the
+	// assembled result, regardless of where the stride-gated epoch sweeps
+	// last ran.
+	if d.checker != nil {
+		d.checker.CheckLaunch(d, res)
+	}
+
 	// Logging epilogue: one debug line per launch summarising the engine's
 	// fast-forward decisions (ticks actually executed vs cycles covered).
 	if d.log.On(obs.LevelDebug) {
@@ -492,6 +535,7 @@ func (d *Device) launchPrologue(l *kernel.Launch) (markMem uint64, err error) {
 		d.launchRejected[i] = neverRejected
 	}
 	d.Mem.ResetDRAM()
+	d.checkNext = 0
 	return markMem, nil
 }
 
@@ -611,6 +655,10 @@ func (d *Device) runLoop(ctx context.Context, done <-chan struct{}, l *kernel.La
 				return nil
 			}
 			return fmt.Errorf("sim: kernel %s wedged with %d blocks undispatched", l.Program.Name, nb-next)
+		}
+		if d.checker != nil && guard >= d.checkNext {
+			d.checkNext = guard + checkStride
+			d.checker.CheckEpoch(d, guard)
 		}
 		guard++
 		// When every busy SM is parked in the future, jump the device

@@ -364,6 +364,15 @@ func (d *Device) runLoopParallel(ctx context.Context, done <-chan struct{}, l *k
 			d.lastTicks += uint64(len(due))
 		}
 
+		// The stride-gated invariant sweep sits in the serial tail, after the
+		// epoch's phase C: every mailbox is drained and every worker is back
+		// at the gate, so the checker sees the same quiescent state the
+		// sequential loop exposes at this point.
+		if d.checker != nil && guard >= d.checkNext {
+			d.checkNext = guard + checkStride
+			d.checker.CheckEpoch(d, guard)
+		}
+
 		guard++
 		if d.fastForward && minNext > guard {
 			target := minNext

@@ -666,6 +666,29 @@ func (s *SM) retireBlock(b *blockCtx) {
 	s.residentShared -= b.launch.SharedBytes()
 }
 
+// CheckQueues calls report for every timed structure whose live entries are
+// out of order: the per-subpartition LG/MIO/TEX instruction queues. The
+// invariant checker uses it to assert the monotone-completion property that
+// NextCompletion (and hence every fast-forward wakeup bound) depends on.
+func (s *SM) CheckQueues(report func(queue string, subpart int)) {
+	for i, sp := range s.subparts {
+		if !sp.lgQueue.Sorted() {
+			report("lg", i)
+		}
+		if !sp.mioQueue.Sorted() {
+			report("mio", i)
+		}
+		if !sp.texQueue.Sorted() {
+			report("tex", i)
+		}
+	}
+}
+
+// ResidentWarps returns the number of warps currently resident — the
+// occupancy figure the invariant checker crosses against the warp-state
+// histogram.
+func (s *SM) ResidentWarps() int { return s.residentWarps }
+
 // Counters returns the SM's counters including the memory-path statistics.
 func (s *SM) Counters() Counters {
 	c := s.ctr

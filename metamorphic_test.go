@@ -1,0 +1,145 @@
+package gputopdown
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"gputopdown/internal/check"
+)
+
+// metamorphicRunner builds the check.Runner for one app on one device: each
+// configuration gets a fresh profiler (no shared replay cache between
+// property runs) and returns the canonical report bytes.
+func metamorphicRunner(t *testing.T, spec *GPUSpec, suite, app string) check.Runner {
+	t.Helper()
+	a, err := GetApp(suite, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(cfg check.Config) ([]byte, error) {
+		opts := []Option{
+			WithReplayWorkers(cfg.ReplayWorkers),
+			WithSimWorkers(cfg.SimWorkers),
+			WithFastForward(cfg.FastForward),
+			WithReplayCache(cfg.ReplayCache),
+			WithChecks(cfg.Checks),
+		}
+		if cfg.Tracing {
+			// At the profiler surface the tracing knob is the execution
+			// tracer; it spans every session, pass, and launch.
+			opts = append(opts, WithObserver(NewTracer(), nil))
+		}
+		if cfg.Observer {
+			opts = append(opts, WithObserver(NewTracer(), NewMetricsRegistry()))
+		}
+		p := NewProfiler(spec, opts...)
+		res, err := p.ProfileApp(context.Background(), a)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.CheckErr(); err != nil {
+			return nil, err
+		}
+		return check.ReportJSON(res.Report())
+	}
+}
+
+// TestMetamorphicProperties runs the full property table (internal/check):
+// every schedule- or observation-only knob must leave the profiled report
+// bit-identical. Reduced-SM devices keep the default run within tier-1
+// budget; METAMORPHIC_FULL=1 (the CI job) uses the full device models.
+func TestMetamorphicProperties(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling matrix skipped in -short mode")
+	}
+	full := os.Getenv("METAMORPHIC_FULL") != ""
+	matrix := []struct {
+		gpu, suite, app string
+	}{
+		{"rtx4000", "rodinia", "bfs"},
+		{"gtx1070", "shoc", "triad"},
+	}
+	if full {
+		matrix = append(matrix,
+			struct{ gpu, suite, app string }{"rtx4000", "altis", "gups"},
+			struct{ gpu, suite, app string }{"gtx1070", "rodinia", "hotspot"},
+			struct{ gpu, suite, app string }{"rtx4000", "shoc", "spmv"},
+		)
+	}
+	for _, m := range matrix {
+		m := m
+		t.Run(m.gpu+"_"+m.suite+"_"+m.app, func(t *testing.T) {
+			spec, ok := LookupGPU(m.gpu)
+			if !ok {
+				t.Fatalf("unknown gpu %q", m.gpu)
+			}
+			if !full {
+				spec = spec.WithSMs(4)
+			}
+			run := metamorphicRunner(t, spec, m.suite, m.app)
+			if err := check.Metamorphic(run, check.Properties()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestChecksCleanProfile asserts the invariant checker stays silent across a
+// real profile on both launch engines and both devices — the in-loop laws
+// hold on production workloads, not just unit fixtures. CHECKS_FULL=1 sweeps
+// every suite app instead of the sample.
+func TestChecksCleanProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling skipped in -short mode")
+	}
+	full := os.Getenv("CHECKS_FULL") != ""
+	type job struct{ gpu, suite, app string }
+	var jobs []job
+	if full {
+		for _, g := range []string{"gtx1070", "rtx4000"} {
+			for _, s := range Suites() {
+				for _, a := range SuiteApps(s) {
+					jobs = append(jobs, job{g, s, a.Name})
+				}
+			}
+		}
+	} else {
+		jobs = []job{
+			{"rtx4000", "rodinia", "bfs"},
+			{"gtx1070", "altis", "gups"},
+		}
+	}
+	for _, j := range jobs {
+		j := j
+		t.Run(j.gpu+"_"+j.suite+"_"+j.app, func(t *testing.T) {
+			spec, ok := LookupGPU(j.gpu)
+			if !ok {
+				t.Fatalf("unknown gpu %q", j.gpu)
+			}
+			if !full {
+				spec = spec.WithSMs(4)
+			}
+			app, err := GetApp(j.suite, j.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eng := range []struct {
+				name string
+				opts []Option
+			}{
+				{"ff", []Option{WithChecks(true)}},
+				{"naive", []Option{WithChecks(true), WithFastForward(false)}},
+				{"parallel", []Option{WithChecks(true), WithSimWorkers(4)}},
+			} {
+				p := NewProfiler(spec, eng.opts...)
+				if _, err := p.ProfileApp(context.Background(), app); err != nil {
+					t.Fatalf("%s: %v", eng.name, err)
+				}
+				if err := p.CheckErr(); err != nil {
+					t.Fatalf("%s engine violated invariants: %v", eng.name, err)
+				}
+			}
+		})
+	}
+}

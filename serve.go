@@ -180,10 +180,21 @@ func serveAnalysis(a *core.Analysis) *serve.Analysis {
 	}
 }
 
+// ReportOption configures AppResult.Report conversion.
+type ReportOption func(*reportOptions)
+
+type reportOptions struct{ canonical bool }
+
+// Canonical zeroes the report's wall_seconds field — the one value that
+// varies between identical runs — so two profiles of the same app on the
+// same configuration convert to byte-identical reports. The golden corpus
+// (internal/check, cmd/goldengen) stores this form.
+func Canonical() ReportOption { return func(o *reportOptions) { o.canonical = true } }
+
 // Report converts the result to its versioned wire form. Everything except
 // WallSeconds is deterministic: two identical runs produce byte-identical
-// reports once wall_seconds is zeroed.
-func (r *AppResult) Report() *JobReport {
+// reports once wall_seconds is zeroed (pass Canonical to do so).
+func (r *AppResult) Report(opts ...ReportOption) *JobReport {
 	rep := &serve.Report{
 		APIVersion:     serve.APIVersion,
 		App:            r.App,
@@ -209,6 +220,13 @@ func (r *AppResult) Report() *JobReport {
 			Pass:   ke.Pass,
 			Error:  ke.Err.Error(),
 		})
+	}
+	var o reportOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.canonical {
+		rep = rep.Canonical()
 	}
 	return rep
 }

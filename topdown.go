@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"gputopdown/internal/check"
 	"gputopdown/internal/core"
 	"gputopdown/internal/cupti"
 	"gputopdown/internal/gpu"
@@ -150,6 +151,21 @@ func WithFastForward(on bool) Option { return func(p *Profiler) { p.fastForward 
 // apps concurrently; the cache is safe for that).
 func WithReplayCache(on bool) Option { return func(p *Profiler) { p.cacheOn = on } }
 
+// WithChecks attaches the in-loop invariant checker (internal/check): every
+// checkpointed simulation epoch, kernel launch, PMU pass merge, and Top-Down
+// analysis is asserted against the conservation laws the design guarantees
+// (warp-state histogram sums, cache/DRAM accounting, Top-Down closure).
+// Violations accumulate on the profiler and are reported by CheckErr; they do
+// not interrupt the run. Off (the default) the hook sites are nil checks —
+// zero allocations, no measurable cost (BenchmarkChecksDisabled).
+func WithChecks(on bool) Option { return func(p *Profiler) { p.checksOn = on } }
+
+// CheckErr reports the invariant violations recorded so far when the profiler
+// was built WithChecks(true): nil when none (or when checks are off), else an
+// error listing the first violations and the total count. The checker
+// accumulates across runs; it is not reset between apps.
+func (p *Profiler) CheckErr() error { return p.checks.Err() }
+
 // Tracer is the execution tracer (Chrome trace-event JSON export); see
 // internal/obs. Create one with NewTracer.
 type Tracer = obs.Tracer
@@ -237,6 +253,8 @@ type Profiler struct {
 	simWorkers    int
 	cacheOn       bool
 	fastForward   bool
+	checksOn      bool
+	checks        *check.Invariants
 	cache         *cupti.ReplayCache
 	tracer        *obs.Tracer
 	metrics       *obs.Registry
@@ -287,6 +305,9 @@ func NewProfiler(spec *gpu.Spec, opts ...Option) *Profiler {
 	}
 	if p.cacheOn {
 		p.cache = cupti.NewReplayCache(0)
+	}
+	if p.checksOn {
+		p.checks = check.New()
 	}
 	// Live observability service: the server needs a registry and tracer to
 	// scrape, and a progress tracker to report; create whatever is missing.
@@ -539,6 +560,9 @@ func (p *Profiler) profileOn(ctx context.Context, dev *sim.Device, app *workload
 	if p.cache != nil {
 		sess.SetCache(p.cache)
 	}
+	if p.checks != nil {
+		sess.SetChecker(p.checks)
+	}
 	obsOn := p.tracer != nil || p.metrics != nil
 	if obsOn {
 		sess.SetObserver(p.tracer, p.metrics)
@@ -575,6 +599,7 @@ func (p *Profiler) profileOn(ctx context.Context, dev *sim.Device, app *workload
 		}
 		a := analyzer.Analyze(rec.Kernel, rec.Values)
 		a.Weight = float64(rec.Cycles)
+		p.checks.CheckAnalysis(a)
 		res.Kernels = append(res.Kernels, KernelResult{
 			Kernel:     rec.Kernel,
 			Invocation: rec.Invocation,
@@ -604,6 +629,7 @@ func (p *Profiler) profileOn(ctx context.Context, dev *sim.Device, app *workload
 		analyses[i] = res.Kernels[i].Analysis
 	}
 	res.Aggregate = core.Aggregate(app.Name, analyses)
+	p.checks.CheckAnalysis(res.Aggregate)
 	res.NativeCycles, res.ProfiledCycles = sess.Overhead()
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	if obsOn {
@@ -654,6 +680,9 @@ func (p *Profiler) Timeline(ctx context.Context, app *workloads.App, kernelName 
 	dev := sim.NewDeviceMem(p.spec, p.memBytes)
 	dev.SetFastForward(p.fastForward)
 	dev.SetSimWorkers(p.effectiveSimWorkers())
+	if p.checks != nil {
+		dev.SetChecker(p.checks)
+	}
 	dev.EnableTrace(interval)
 	analyzer := core.NewAnalyzer(p.spec, p.level)
 	analyzer.Normalize = p.normalize
@@ -708,6 +737,9 @@ func (p *Profiler) RunNative(app *workloads.App) (uint64, error) {
 	dev := sim.NewDeviceMem(p.spec, p.memBytes)
 	dev.SetFastForward(p.fastForward)
 	dev.SetSimWorkers(p.effectiveSimWorkers())
+	if p.checks != nil {
+		dev.SetChecker(p.checks)
+	}
 	if p.logger != nil {
 		dev.SetLogger(p.logger)
 	}
